@@ -1,0 +1,151 @@
+package mfc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mfc/internal/core"
+	"mfc/internal/websim"
+)
+
+// Resource attribution implements the paper's §2.3 observation that
+// "server-side support in instrumenting servers to track resource usage
+// using utilities (such as atop or sysstat) can offer better insights":
+// when the operator cooperates (which in simulation is always), the MFC
+// epochs are joined against the atop-style monitor so each confirmed
+// degradation is attributed to the sub-system that was actually saturated,
+// rather than inferred from the request category alone.
+
+// ResourceKind names an attributable server resource.
+type ResourceKind string
+
+// The attributable resources.
+const (
+	ResourceCPU     ResourceKind = "cpu"
+	ResourceMemory  ResourceKind = "memory"
+	ResourceDisk    ResourceKind = "disk"
+	ResourceNetwork ResourceKind = "network"
+	ResourceDBPool  ResourceKind = "db-pool"
+	ResourceNone    ResourceKind = "none"
+)
+
+// Attribution joins one stage's verdict with the observed resource state
+// around its stopping epoch.
+type Attribution struct {
+	Stage    Stage
+	Stopped  bool
+	At       int // stopping crowd (0 if NoStop)
+	Dominant ResourceKind
+	// Utilization of the dominant resource in the stopping window
+	// (fraction for cpu/disk/network; resident/RAM for memory; queue
+	// length for db-pool, normalized by pool size).
+	Level float64
+	// Agrees reports whether the instrumented attribution matches the
+	// black-box inference from the request category (§3.3: black-box
+	// inferences are sub-system granular; instrumentation confirms them).
+	Agrees bool
+}
+
+// expectedResource is the black-box expectation per stage.
+func expectedResource(s Stage) []ResourceKind {
+	switch s {
+	case core.StageLargeObject:
+		return []ResourceKind{ResourceNetwork}
+	case core.StageSmallQuery:
+		return []ResourceKind{ResourceDBPool, ResourceCPU, ResourceMemory, ResourceDisk}
+	default:
+		return []ResourceKind{ResourceCPU}
+	}
+}
+
+// AttributeResources inspects a simulated run's monitor samples around each
+// stage's stopping epoch and names the saturated resource.
+func AttributeResources(run *SimRun) []Attribution {
+	if run == nil || run.Result == nil {
+		return nil
+	}
+	var out []Attribution
+	for _, sr := range run.Result.Stages {
+		a := Attribution{Stage: sr.Stage}
+		var window *core.EpochResult
+		if sr.Verdict == core.VerdictStopped {
+			a.Stopped = true
+			a.At = sr.StoppingCrowd
+			// The confirming epoch is the last one recorded.
+			if n := len(sr.Epochs); n > 0 {
+				window = &sr.Epochs[n-1]
+			}
+		} else if e := sr.LastRamp(); e != nil {
+			window = e
+		}
+		if window == nil {
+			a.Dominant = ResourceNone
+			out = append(out, a)
+			continue
+		}
+		w := run.Monitor.Window(window.ArriveAt-time.Second, window.Done)
+		a.Dominant, a.Level = dominantResource(run.Server, w)
+		if !a.Stopped {
+			// Nothing to attribute: report the hottest resource anyway,
+			// but a NoStop with a cool server is simply "none".
+			if a.Level < 0.5 {
+				a.Dominant = ResourceNone
+			}
+		}
+		for _, exp := range expectedResource(sr.Stage) {
+			if a.Dominant == exp {
+				a.Agrees = true
+				break
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// dominantResource scores each resource's pressure in a monitor window.
+func dominantResource(srv *websim.Server, w websim.Sample) (ResourceKind, float64) {
+	cfg := srv.Config()
+	type cand struct {
+		kind  ResourceKind
+		level float64
+	}
+	replicas := float64(cfg.Replicas)
+	if replicas < 1 {
+		replicas = 1
+	}
+	cands := []cand{
+		{ResourceCPU, w.CPUUtil},
+		{ResourceDisk, w.DiskUtil},
+		{ResourceNetwork, w.NetBytesPerSec / (cfg.AccessBandwidth * replicas)},
+		{ResourceMemory, float64(w.ResidentBytes) / float64(cfg.RAMBytes*int64(replicas))},
+		{ResourceDBPool, float64(w.DBQueue) / float64(cfg.DBConns*int(replicas))},
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].level > cands[j].level })
+	return cands[0].kind, cands[0].level
+}
+
+// RenderAttribution formats attributions for operators.
+func RenderAttribution(atts []Attribution) string {
+	var b strings.Builder
+	b.WriteString("Resource attribution (instrumented target):\n")
+	for _, a := range atts {
+		verdict := "NoStop"
+		if a.Stopped {
+			verdict = fmt.Sprintf("stop @ %d", a.At)
+		}
+		agree := ""
+		if a.Stopped {
+			if a.Agrees {
+				agree = " — confirms the black-box inference"
+			} else {
+				agree = " — DIFFERS from the black-box inference"
+			}
+		}
+		fmt.Fprintf(&b, "  %-12s %-10s dominant=%s (level %.2f)%s\n",
+			a.Stage, verdict, a.Dominant, a.Level, agree)
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+// Command mfc-coordinator runs the distributed MFC coordinator (Figure
+// 2(a)): it listens for mfc-client agent registrations over UDP, waits for
+// a quorum, profiles the target, and drives the staged experiment with the
+// paper's scheduling rule (commands sent at T − 0.5·T_coord − 1.5·T_target,
+// agents fire on receipt).
+//
+// Usage:
+//
+//	mfc-coordinator -listen :7420 -target http://server.example/ \
+//	    [-min-agents 50] [-register-wait 60s] [-threshold 100ms] ...
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/url"
+	"os"
+	"time"
+
+	"mfc/internal/content"
+	"mfc/internal/core"
+	"mfc/internal/liveplat"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":7420", "UDP address to accept agent registrations on")
+		target    = flag.String("target", "", "absolute URL of the server to profile (required)")
+		minAgents = flag.Int("min-agents", 50, "abort unless this many agents register (the paper's 50-client rule)")
+		regWait   = flag.Duration("register-wait", 60*time.Second, "how long to wait for agent registrations")
+		threshold = flag.Duration("threshold", 100*time.Millisecond, "θ")
+		step      = flag.Int("step", 5, "crowd increment")
+		max       = flag.Int("max", 50, "maximum crowd size")
+		mr        = flag.Int("mr", 1, "MFC-mr: parallel requests per client")
+		crawlMax  = flag.Int("crawl-max", 200, "profiling crawl object limit")
+	)
+	flag.Parse()
+	if *target == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	plat, err := liveplat.NewUDPPlatform(*listen, *target, log.Printf)
+	if err != nil {
+		log.Fatalf("mfc-coordinator: %v", err)
+	}
+	defer plat.Close()
+	log.Printf("listening for agents on %s; waiting up to %v for %d registrations",
+		plat.Addr(), *regWait, *minAgents)
+	got := plat.WaitForAgents(*minAgents, time.Now().Add(*regWait))
+	if got < *minAgents {
+		log.Fatalf("mfc-coordinator: only %d agents registered (need %d); aborting per the MinClients rule", got, *minAgents)
+	}
+
+	fetcher, err := liveplat.NewHTTPFetcher(*target)
+	if err != nil {
+		log.Fatalf("mfc-coordinator: %v", err)
+	}
+	basePath := "/"
+	if u, err := url.Parse(*target); err == nil && u.Path != "" {
+		basePath = u.Path
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	prof, err := content.Crawl(ctx, fetcher, *target, basePath, content.CrawlConfig{MaxObjects: *crawlMax})
+	if err != nil {
+		log.Fatalf("mfc-coordinator: profiling: %v", err)
+	}
+	log.Println(prof)
+
+	cfg := core.DefaultConfig()
+	cfg.Threshold = *threshold
+	cfg.Step = *step
+	cfg.MaxCrowd = *max
+	cfg.MinClients = *minAgents
+	cfg.MultiRequest = *mr
+
+	coord := core.NewCoordinator(plat, cfg, log.Printf)
+	res, err := coord.RunExperiment(*target, prof)
+	if err != nil {
+		log.Fatalf("mfc-coordinator: %v", err)
+	}
+	fmt.Print(res)
+	fmt.Println()
+	fmt.Print(core.Assess(res))
+}

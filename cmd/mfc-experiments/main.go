@@ -1,0 +1,259 @@
+// Command mfc-experiments regenerates every table and figure of the
+// paper's evaluation against the simulation substrate, plus the ablations
+// and extensions DESIGN.md catalogs. See EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+//
+// Usage:
+//
+//	mfc-experiments              # run everything
+//	mfc-experiments -run f3,t1   # a comma-separated subset
+//	mfc-experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"mfc/internal/experiments"
+	"mfc/internal/websim"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(seed int64) (string, error)
+}
+
+func catalog() []experiment {
+	return []experiment{
+		{"f3", "Figure 3: arrival-time spread of a 45-client crowd", func(seed int64) (string, error) {
+			r, err := experiments.Figure3(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"f4a", "Figure 4(a): tracking a linear response-time model", func(seed int64) (string, error) {
+			r, err := experiments.Figure4(websim.LinearModel{Slope: 5 * time.Millisecond}, seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render() + "\n" + r.Plot(), nil
+		}},
+		{"f4b", "Figure 4(b): tracking an exponential response-time model", func(seed int64) (string, error) {
+			r, err := experiments.Figure4(websim.ExponentialModel{Unit: 15 * time.Millisecond, Doubling: 10}, seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render() + "\n" + r.Plot(), nil
+		}},
+		{"f5", "Figure 5: Large Object lab workload", func(seed int64) (string, error) {
+			r, err := experiments.Figure5(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render() + "\n" + r.Plot(), nil
+		}},
+		{"f6", "Figure 6: Small Query under FastCGI vs Mongrel", func(seed int64) (string, error) {
+			r, err := experiments.Figure6(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render() + "\n" + r.Plot(), nil
+		}},
+		{"t1", "Table 1: QTNP standard and MFC-mr runs", func(seed int64) (string, error) {
+			r, err := experiments.Table1()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"t2", "Table 2: QTP synchronization spread", func(seed int64) (string, error) {
+			r, err := experiments.Table2()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"t3a", "Table 3(a): Univ-2 at three times of day", func(seed int64) (string, error) {
+			r, err := experiments.Table3Univ2()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"t3b", "Table 3(b): Univ-3 at three times of day", func(seed int64) (string, error) {
+			r, err := experiments.Table3Univ3()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"u1", "Univ-1 narrative run (§4.2)", func(seed int64) (string, error) {
+			r, err := experiments.Univ1()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"f7", "Figure 7: Base stage by Quantcast rank", func(seed int64) (string, error) {
+			r, err := experiments.Figure7(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render() + "\n" + r.Plot(), nil
+		}},
+		{"f8", "Figure 8: Small Query by Quantcast rank", func(seed int64) (string, error) {
+			r, err := experiments.Figure8(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render() + "\n" + r.Plot(), nil
+		}},
+		{"f9", "Figure 9: Large Object by Quantcast rank", func(seed int64) (string, error) {
+			r, err := experiments.Figure9(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render() + "\n" + r.Plot(), nil
+		}},
+		{"t4", "Table 4: startup servers", func(seed int64) (string, error) {
+			b, q, err := experiments.Table4(seed)
+			if err != nil {
+				return "", err
+			}
+			return b.Render() + "\n" + q.Render(), nil
+		}},
+		{"t5", "Table 5: phishing servers", func(seed int64) (string, error) {
+			r, err := experiments.Table5(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"ab-check", "Ablation: check phase vs none (false stops)", func(seed int64) (string, error) {
+			r, err := experiments.AblationCheckPhase(8)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"ab-quantile", "Ablation: Large Object observe-fraction", func(seed int64) (string, error) {
+			r, err := experiments.AblationQuantile(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"ab-step", "Ablation: crowd step size", func(seed int64) (string, error) {
+			r, err := experiments.AblationStep(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"ext-stagger", "Extension: staggered MFC", func(seed int64) (string, error) {
+			r, err := experiments.ExtensionStaggered(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"ext-mr", "Extension: MFC-mr multiplier sweep", func(seed int64) (string, error) {
+			r, err := experiments.ExtensionMultiRequest(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"predictive", "Premise check: MFC stop vs real flash-crowd degradation", func(seed int64) (string, error) {
+			r, err := experiments.PredictiveValidation(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"ext-compare", "Use case (§1): comparing alternate deployments", func(seed int64) (string, error) {
+			cfg := experiments.DefaultCompareConfig()
+			r, err := experiments.CompareDeployments(websim.QTSite(7), cfg, []experiments.Deployment{
+				{Label: "qtnp-as-is", Config: websim.QTNPConfig()},
+				{Label: "qtnp+8conns", Config: func() websim.Config {
+					c := websim.QTNPConfig()
+					c.DBConns = 8
+					return c
+				}()},
+				{Label: "qtp-farm", Config: websim.QTPConfig()},
+			}, seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"ext-measurers", "Extension: measurers probing cross-resource correlation (§6)", func(seed int64) (string, error) {
+			indep, err := experiments.ExtensionMeasurers(seed)
+			if err != nil {
+				return "", err
+			}
+			shared, err := experiments.ExtensionMeasurersShared(seed)
+			if err != nil {
+				return "", err
+			}
+			return indep.Render() + "\n" + shared.Render(), nil
+		}},
+		{"ext-ddos", "Extension: DDoS vulnerability reading (§6)", func(seed int64) (string, error) {
+			weak, err := experiments.DDoSReport(websim.Univ3Config(), websim.Univ3Site(5), seed)
+			if err != nil {
+				return "", err
+			}
+			strong, err := experiments.DDoSReport(websim.QTPConfig(), websim.QTSite(7), seed)
+			if err != nil {
+				return "", err
+			}
+			return "--- weak target (univ3) ---\n" + weak + "\n--- strong target (qtp) ---\n" + strong, nil
+		}},
+	}
+}
+
+func main() {
+	var (
+		run  = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		seed = flag.Int64("seed", 1, "base random seed")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	cat := catalog()
+	if *list {
+		for _, e := range cat {
+			fmt.Printf("%-12s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *run != "all" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	failed := false
+	for _, e := range cat {
+		if *run != "all" && !want[e.id] {
+			continue
+		}
+		t0 := time.Now()
+		out, err := e.run(*seed)
+		if err != nil {
+			log.Printf("%s: FAILED: %v", e.id, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("==== %s — %s (%.1fs) ====\n%s\n", e.id, e.desc, time.Since(t0).Seconds(), out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

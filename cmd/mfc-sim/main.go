@@ -1,0 +1,129 @@
+// Command mfc-sim runs a fully simulated MFC experiment against one of the
+// paper's server presets (or a tunable custom model) and prints the result
+// and assessment. Everything runs in virtual time; a full three-stage
+// experiment takes tens of milliseconds of wall clock.
+//
+// Usage:
+//
+//	mfc-sim -preset qtnp [-threshold 100ms] [-max 55] [-mr 1] [-seed 1]
+//	mfc-sim -preset custom -cores 2 -parse 5ms -dbconns 4 -bandwidth 12.5e6
+//	mfc-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mfc"
+)
+
+func main() {
+	var (
+		preset    = flag.String("preset", "qtnp", "server preset: qtnp|qtp|univ1|univ2|univ3|lab-fcgi|lab-mongrel|custom")
+		threshold = flag.Duration("threshold", 100*time.Millisecond, "θ")
+		step      = flag.Int("step", 5, "crowd increment")
+		max       = flag.Int("max", 55, "maximum crowd size")
+		mr        = flag.Int("mr", 1, "MFC-mr parallel requests per client")
+		stagger   = flag.Duration("stagger", 0, "inter-arrival spacing (0 = synchronized)")
+		clients   = flag.Int("clients", 65, "simulated PlanetLab clients")
+		seed      = flag.Int64("seed", 1, "random seed (same seed = same run)")
+		bgRate    = flag.Float64("bg", 0, "background traffic rate (requests/sec)")
+		verbose   = flag.Bool("v", false, "log coordinator progress")
+		list      = flag.Bool("list", false, "list presets and exit")
+
+		// custom preset knobs
+		cores     = flag.Float64("cores", 2, "custom: CPU cores")
+		parse     = flag.Duration("parse", 2*time.Millisecond, "custom: per-request parse CPU")
+		dbconns   = flag.Int("dbconns", 8, "custom: DB connection pool size")
+		queryTime = flag.Duration("querytime", 10*time.Millisecond, "custom: backend time per query")
+		bandwidth = flag.Float64("bandwidth", 12.5e6, "custom: access bandwidth (bytes/sec)")
+		workers   = flag.Int("workers", 256, "custom: worker pool size")
+	)
+	flag.Parse()
+	if *list {
+		fmt.Println("qtnp        top-50 commercial site, non-production twin (§4.1)")
+		fmt.Println("qtp         production 16-server load-balanced farm (§4.1)")
+		fmt.Println("univ1       weak European research-group server (§4.2)")
+		fmt.Println("univ2       CS department with a years-old thread cap (§4.2)")
+		fmt.Println("univ3       CS department with a legacy uncached query path (§4.2)")
+		fmt.Println("lab-fcgi    §3.2 Apache/MySQL lab box, FastCGI backend")
+		fmt.Println("lab-mongrel §3.2 lab box, Mongrel backend")
+		fmt.Println("custom      build from the -cores/-parse/-dbconns/... flags")
+		return
+	}
+
+	var srv mfc.ServerConfig
+	var site *mfc.Site
+	switch *preset {
+	case "qtnp":
+		srv, site = mfc.PresetQTNP(), mfc.PresetQTSite(*seed)
+	case "qtp":
+		srv, site = mfc.PresetQTP(), mfc.PresetQTSite(*seed)
+	case "univ1":
+		srv, site = mfc.PresetUniv1(), mfc.PresetUniv1Site(*seed)
+	case "univ2":
+		srv, site = mfc.PresetUniv2(), mfc.PresetUniv2Site(*seed)
+	case "univ3":
+		srv, site = mfc.PresetUniv3(), mfc.PresetUniv3Site(*seed)
+	case "lab-fcgi":
+		srv, site = mfc.PresetLab(mfc.BackendFastCGI)
+	case "lab-mongrel":
+		srv, site = mfc.PresetLab(mfc.BackendMongrel)
+	case "custom":
+		srv = mfc.ServerConfig{
+			Name:             "custom",
+			Cores:            *cores,
+			ParseCPU:         *parse,
+			DBConns:          *dbconns,
+			QueryBackendTime: *queryTime,
+			AccessBandwidth:  *bandwidth,
+			Workers:          *workers,
+		}
+		site = mfc.GenerateSite("custom.example", *seed, mfc.SiteGenConfig{})
+	default:
+		fmt.Fprintf(os.Stderr, "mfc-sim: unknown preset %q (try -list)\n", *preset)
+		os.Exit(2)
+	}
+
+	cfg := mfc.DefaultConfig()
+	cfg.Threshold = *threshold
+	cfg.Step = *step
+	cfg.MaxCrowd = *max
+	cfg.MultiRequest = *mr
+	cfg.Stagger = *stagger
+	if *clients < cfg.MinClients {
+		cfg.MinClients = *clients
+	}
+
+	var logf func(string, ...any)
+	if *verbose {
+		logf = log.Printf
+	}
+	t0 := time.Now()
+	run, err := mfc.RunSimulatedDetailed(mfc.SimTarget{
+		Server:     srv,
+		Site:       site,
+		Clients:    *clients,
+		Seed:       *seed,
+		Background: mfc.BackgroundConfig{Rate: *bgRate},
+		Logf:       logf,
+	}, cfg)
+	if err != nil {
+		log.Fatalf("mfc-sim: %v", err)
+	}
+	fmt.Println(run.Profile)
+	fmt.Print(run.Result)
+	fmt.Println()
+	fmt.Print(mfc.Assess(run.Result))
+	fmt.Println(mfc.CompareStages(run.Result))
+	// Simulation implies a cooperating, instrumented target (§2.3), so the
+	// black-box inference can be checked against actual resource state.
+	fmt.Println()
+	fmt.Print(mfc.RenderAttribution(mfc.AttributeResources(run)))
+	fmt.Printf("\n(%v of virtual time simulated in %v; target served %d requests, refused %d)\n",
+		run.VirtualElapsed.Round(time.Second), time.Since(t0).Round(time.Millisecond),
+		run.Server.Served(), run.Server.Refused())
+}

@@ -1,0 +1,65 @@
+// Command mfc-target runs the instrumented lab target server of §3.1: a
+// real HTTP server hosting a synthetic site, with an optional synthetic
+// response-time model (linear / exponential / step) driven by the live
+// pending-request count, an access log with microsecond arrival stamps
+// (GET /access-log), and counters (GET /metrics).
+//
+// Usage:
+//
+//	mfc-target -addr :8080 [-model linear] [-slope 5ms] [-unit 15ms]
+//	    [-doubling 10] [-knee 30] [-high 1s] [-query-delay 20ms]
+//	    [-pages 40] [-queries 20] [-seed 1]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"mfc/internal/content"
+	"mfc/internal/labtarget"
+	"mfc/internal/websim"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		model      = flag.String("model", "none", "synthetic response model: none|linear|exp|step")
+		slope      = flag.Duration("slope", 5*time.Millisecond, "linear: delay per pending request")
+		unit       = flag.Duration("unit", 15*time.Millisecond, "exp: base delay unit")
+		doubling   = flag.Float64("doubling", 10, "exp: pending requests per doubling")
+		knee       = flag.Int("knee", 30, "step: pending count at the cliff")
+		high       = flag.Duration("high", time.Second, "step: delay beyond the knee")
+		queryDelay = flag.Duration("query-delay", 20*time.Millisecond, "fixed handling time for dynamic URLs")
+		pages      = flag.Int("pages", 40, "generated site: pages")
+		queries    = flag.Int("queries", 20, "generated site: dynamic URLs")
+		seed       = flag.Int64("seed", 1, "site generation seed")
+		logAccess  = flag.Bool("log", true, "record arrival timestamps")
+	)
+	flag.Parse()
+
+	var m websim.SyntheticModel
+	switch *model {
+	case "none":
+	case "linear":
+		m = websim.LinearModel{Slope: *slope}
+	case "exp":
+		m = websim.ExponentialModel{Unit: *unit, Doubling: *doubling}
+	case "step":
+		m = websim.StepModel{Knee: *knee, High: *high}
+	default:
+		log.Fatalf("mfc-target: unknown -model %q", *model)
+	}
+
+	site := content.Generate("mfc-target", *seed, content.GenConfig{
+		Pages: *pages, Queries: *queries,
+	})
+	srv := labtarget.New(site, m)
+	srv.QueryDelay = *queryDelay
+	if *logAccess {
+		srv.EnableAccessLog()
+	}
+	log.Printf("mfc-target: %d objects, model=%s, listening on %s", site.Len(), *model, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

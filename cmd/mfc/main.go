@@ -1,0 +1,104 @@
+// Command mfc profiles a live web server with a mini-flash crowd run from
+// this machine: the crowd is a set of goroutines with independent HTTP
+// transports (the in-process equivalent of the paper's PlanetLab clients —
+// real requests, no wide-area diversity).
+//
+// Usage:
+//
+//	mfc -target http://server.example/ [-clients 50] [-threshold 100ms]
+//	    [-step 5] [-max 50] [-mr 1] [-stagger 0] [-min-clients 50]
+//
+// Only profile servers you operate or have permission to test.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/url"
+	"os"
+	"time"
+
+	"mfc/internal/content"
+	"mfc/internal/core"
+	"mfc/internal/liveplat"
+)
+
+func main() {
+	var (
+		target     = flag.String("target", "", "absolute URL of the server to profile (required)")
+		clients    = flag.Int("clients", 50, "number of in-process crowd clients")
+		minClients = flag.Int("min-clients", 0, "abort below this many clients (default: same as -clients, capped at 50)")
+		threshold  = flag.Duration("threshold", 100*time.Millisecond, "θ: response-time increase that counts as degradation")
+		step       = flag.Int("step", 5, "crowd-size increment per epoch")
+		max        = flag.Int("max", 50, "maximum crowd size")
+		mr         = flag.Int("mr", 1, "MFC-mr: parallel requests per client")
+		stagger    = flag.Duration("stagger", 0, "inter-arrival spacing (0 = synchronized)")
+		epochGap   = flag.Duration("epoch-gap", 10*time.Second, "pause between epochs")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+		crawlMax   = flag.Int("crawl-max", 200, "profiling crawl object limit")
+		verbose    = flag.Bool("v", false, "log coordinator progress")
+	)
+	flag.Parse()
+	if *target == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	parsed, err := url.Parse(*target)
+	if err != nil {
+		log.Fatalf("mfc: bad -target: %v", err)
+	}
+	basePath := parsed.Path
+	if basePath == "" {
+		basePath = "/"
+	}
+
+	// Profiling stage: crawl and classify the target's content.
+	fetcher, err := liveplat.NewHTTPFetcher(*target)
+	if err != nil {
+		log.Fatalf("mfc: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	fmt.Fprintf(os.Stderr, "profiling %s ...\n", *target)
+	prof, err := content.Crawl(ctx, fetcher, *target, basePath, content.CrawlConfig{MaxObjects: *crawlMax})
+	if err != nil {
+		log.Fatalf("mfc: profiling: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, prof)
+
+	plat, err := liveplat.NewInProcessPlatform(*target, *clients)
+	if err != nil {
+		log.Fatalf("mfc: %v", err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Threshold = *threshold
+	cfg.Step = *step
+	cfg.MaxCrowd = *max
+	cfg.MultiRequest = *mr
+	cfg.Stagger = *stagger
+	cfg.EpochGap = *epochGap
+	cfg.RequestTimeout = *timeout
+	cfg.MinClients = *minClients
+	if cfg.MinClients == 0 {
+		cfg.MinClients = *clients
+		if cfg.MinClients > 50 {
+			cfg.MinClients = 50
+		}
+	}
+
+	var logf func(string, ...any)
+	if *verbose {
+		logf = log.Printf
+	}
+	coord := core.NewCoordinator(plat, cfg, logf)
+	res, err := coord.RunExperiment(*target, prof)
+	if err != nil {
+		log.Fatalf("mfc: %v", err)
+	}
+	fmt.Print(res)
+	fmt.Println()
+	fmt.Print(core.Assess(res))
+	fmt.Println(core.CompareStages(res))
+}

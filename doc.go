@@ -1,0 +1,34 @@
+// Package mfc is a Go implementation of Mini-Flash Crowds (MFC), the
+// wide-area web-server profiling technique of Ramamurthy, Sekar, Akella,
+// Krishnamurthy and Shaikh, "Remote Profiling of Resource Constraints of
+// Web Servers Using Mini-Flash Crowds" (USENIX ATC 2008).
+//
+// An MFC experiment has a coordinator direct an increasing number of
+// distributed clients to issue synchronized HTTP requests of a specific
+// category — HEAD of the base page (Base), dynamic responses under 15 KB
+// (Small Query), or the same static object of at least 100 KB (Large
+// Object) — at a target server. A small but persistent rise in a quantile
+// of the normalized response time, confirmed by a check phase, reveals the
+// crowd size at which a specific server sub-system (request handling,
+// back-end data processing, or access bandwidth) becomes constrained.
+//
+// The package offers three ways to run an experiment:
+//
+//   - RunSimulated: against a configurable discrete-event model of a web
+//     server (internal/websim) with simulated PlanetLab-like clients.
+//     Deterministic, fast, and the substrate for reproducing the paper's
+//     figures and tables (see EXPERIMENTS.md).
+//   - RunLive: against a real HTTP server, with the crowd implemented as
+//     goroutines issuing net/http requests from this process.
+//   - cmd/mfc-coordinator and cmd/mfc-client: a distributed deployment
+//     where remote client agents are driven over the paper's UDP control
+//     protocol.
+//
+// Start with Quickstart in examples/quickstart, or:
+//
+//	cfg := mfc.DefaultConfig()
+//	res, err := mfc.RunSimulated(mfc.SimTarget{
+//	    Server: mfc.PresetQTNP(), Site: mfc.PresetQTSite(1), Clients: 65,
+//	}, cfg)
+//	fmt.Print(mfc.Assess(res))
+package mfc

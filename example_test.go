@@ -1,0 +1,80 @@
+package mfc_test
+
+import (
+	"fmt"
+	"time"
+
+	"mfc"
+)
+
+// ExampleRunSimulated profiles the paper's QTNP preset and prints each
+// stage's verdict. Simulated runs are deterministic in (SimTarget, Config),
+// so this example's output is stable.
+func ExampleRunSimulated() {
+	cfg := mfc.DefaultConfig()
+	cfg.MaxCrowd = 55
+	res, err := mfc.RunSimulated(mfc.SimTarget{
+		Server:  mfc.PresetQTNP(),
+		Site:    mfc.PresetQTSite(7),
+		Clients: 65,
+		Seed:    42,
+	}, cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, sr := range res.Stages {
+		if sr.Verdict == mfc.VerdictStopped {
+			fmt.Printf("%s: stopped at %d\n", sr.Stage, sr.StoppingCrowd)
+		} else {
+			fmt.Printf("%s: %v\n", sr.Stage, sr.Verdict)
+		}
+	}
+	// Output:
+	// Base: stopped at 25
+	// SmallQuery: stopped at 50
+	// LargeObject: NoStop
+}
+
+// ExampleAssess turns a result into the operator-facing DDoS reading.
+func ExampleAssess() {
+	cfg := mfc.DefaultConfig()
+	res, err := mfc.RunSimulated(mfc.SimTarget{
+		Server:  mfc.PresetUniv3(),
+		Site:    mfc.PresetUniv3Site(5),
+		Clients: 65,
+		Seed:    99,
+	}, cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	a := mfc.Assess(res)
+	fmt.Println("ddos:", a.DDoS)
+	// Output:
+	// ddos: highly-vulnerable
+}
+
+// ExampleConfig_staggered shows the §6 staggered-arrival extension: the
+// same weak server that keels over under synchronized arrivals absorbs the
+// load when requests are spaced 200ms apart.
+func ExampleConfig_staggered() {
+	run := func(stagger time.Duration) mfc.StageVerdict {
+		cfg := mfc.DefaultConfig()
+		cfg.MaxCrowd = 30
+		cfg.Stagger = stagger
+		sr, _, err := mfc.RunSimulatedStage(mfc.SimTarget{
+			Server: mfc.PresetUniv1(), Site: mfc.PresetUniv1Site(5),
+			Clients: 60, Seed: 3,
+		}, cfg, mfc.StageBase)
+		if err != nil {
+			return mfc.VerdictAborted
+		}
+		return sr.Verdict
+	}
+	fmt.Println("synchronized:", run(0))
+	fmt.Println("staggered:", run(200*time.Millisecond))
+	// Output:
+	// synchronized: Stopped
+	// staggered: NoStop
+}

@@ -1,0 +1,41 @@
+// DDoS vulnerability reading (§6): compare the MFC stages of two targets
+// to grade how exposed each is to application-level floods. A server whose
+// access link absorbs large crowds while its query path keels over at a
+// few dozen requests is trivially attackable by a cheap request flood.
+//
+//	go run ./examples/ddos
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mfc"
+)
+
+func main() {
+	targets := []struct {
+		name   string
+		server mfc.ServerConfig
+		site   *mfc.Site
+	}{
+		{"univ3 (weak query path, strong link)", mfc.PresetUniv3(), mfc.PresetUniv3Site(5)},
+		{"qtp (production farm)", mfc.PresetQTP(), mfc.PresetQTSite(7)},
+	}
+	cfg := mfc.DefaultConfig()
+	cfg.MaxCrowd = 50
+
+	for _, t := range targets {
+		res, err := mfc.RunSimulated(mfc.SimTarget{
+			Server: t.server, Site: t.site, Clients: 65, Seed: 99,
+		}, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := mfc.Assess(res)
+		fmt.Printf("=== %s ===\n", t.name)
+		fmt.Print(res)
+		fmt.Print(a)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,63 @@
+// Lab validation (§3): verify that the MFC machinery tracks known
+// synthetic response-time functions and that each request category
+// exercises the intended server resource — the repository's equivalent of
+// Figures 4, 5 and 6.
+//
+//	go run ./examples/labvalidation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mfc"
+)
+
+func main() {
+	// --- Figure 4 style: tracking a known response-time model. ---
+	model := mfc.LinearModel{Slope: 5 * time.Millisecond}
+	srv, site := mfc.PresetValidation(model)
+	cfg := mfc.DefaultConfig()
+	cfg.Threshold = time.Hour // trace the whole curve, never stop
+	cfg.MaxCrowd = 60
+
+	res, err := mfc.RunSimulated(mfc.SimTarget{Server: srv, Site: site, Clients: 65, Seed: 3}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := res.Stage(mfc.StageBase)
+	crowds, medians := base.CurveMedians()
+	fmt.Println("tracking a linear model (crowd: ideal vs measured):")
+	for i, n := range crowds {
+		fmt.Printf("  %2d: %7v  %7v\n", n, model.Delay(n), medians[i].Round(time.Millisecond))
+	}
+
+	// --- Figure 5/6 style: which resource does each stage tax? ---
+	lab, labSite := mfc.PresetLab(mfc.BackendFastCGI)
+	cfg = mfc.DefaultConfig()
+	cfg.Threshold = time.Hour
+	cfg.MaxCrowd = 50
+	run, err := mfc.RunSimulatedDetailed(mfc.SimTarget{
+		Server: lab, Site: labSite, Clients: 55, LAN: true, Seed: 4,
+	}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nFastCGI small-query blow-up (server peak resident memory):")
+	fmt.Printf("  peak resident: %d MB (RAM: %d MB)\n",
+		run.Server.PeakResident()>>20, lab.RAMBytes>>20)
+	q := run.Result.Stage(mfc.StageSmallQuery)
+	crowds, medians = q.CurveMedians()
+	for i, n := range crowds {
+		fmt.Printf("  crowd %2d: median +%v\n", n, medians[i].Round(time.Millisecond))
+	}
+
+	large := run.Result.Stage(mfc.StageLargeObject)
+	crowds, medians = large.CurveMedians()
+	fmt.Println("\nLarge Object over the 100 Mbit lab link:")
+	for i, n := range crowds {
+		fmt.Printf("  crowd %2d: median +%v\n", n, medians[i].Round(time.Millisecond))
+	}
+	fmt.Printf("  access link delivered %.1f MB total\n", run.Server.AccessLink().BytesSent()/1e6)
+}

@@ -1,0 +1,36 @@
+// Quickstart: profile a simulated commercial web installation with a
+// standard three-stage MFC and print the operator-facing assessment.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mfc"
+)
+
+func main() {
+	// The paper's standard parameters: θ=100ms, ramp by 5 up to 50 clients,
+	// median detection (90%-of-clients rule for Large Object), check phase.
+	cfg := mfc.DefaultConfig()
+	cfg.MaxCrowd = 55
+
+	// QTNP is the top-50 commercial site's non-production twin from §4.1:
+	// strong pipe, heavy base-page path, a contended query backend.
+	res, err := mfc.RunSimulated(mfc.SimTarget{
+		Server:  mfc.PresetQTNP(),
+		Site:    mfc.PresetQTSite(7),
+		Clients: 65, // simulated PlanetLab nodes
+		Seed:    42,
+	}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(res)
+	fmt.Println()
+	fmt.Print(mfc.Assess(res))
+	fmt.Println(mfc.CompareStages(res))
+}

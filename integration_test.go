@@ -1,0 +1,197 @@
+package mfc
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mfc/internal/content"
+	"mfc/internal/core"
+	"mfc/internal/labtarget"
+	"mfc/internal/liveplat"
+	"mfc/internal/websim"
+)
+
+// TestLiveInProcessEndToEnd runs the full live pipeline with no simulation:
+// a real instrumented HTTP target, the profiling crawl over net/http, and a
+// goroutine crowd driven by the coordinator. The target's linear model adds
+// 4ms per pending request, so a 60ms threshold must confirm around crowd
+// 15-30.
+func TestLiveInProcessEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live integration takes a few seconds of wall time")
+	}
+	site := content.Generate("live-int", 11, content.GenConfig{Pages: 15, Queries: 8})
+	target := labtarget.New(site, websim.LinearModel{Slope: 4 * time.Millisecond})
+	target.EnableAccessLog()
+	ts := httptest.NewServer(target)
+	defer ts.Close()
+
+	fetcher, err := liveplat.NewHTTPFetcher(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := content.Crawl(context.Background(), fetcher, ts.URL, "/index.html",
+		content.CrawlConfig{MaxObjects: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prof.HasSmallQuery() {
+		t.Fatal("crawl found no queries on the lab target")
+	}
+
+	plat, err := liveplat.NewInProcessPlatform(ts.URL, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Threshold = 60 * time.Millisecond
+	cfg.Step = 5
+	cfg.MaxCrowd = 40
+	cfg.MinClients = 40
+	cfg.EpochGap = 100 * time.Millisecond
+	cfg.RequestTimeout = 1500 * time.Millisecond
+	cfg.ScheduleGuard = 150 * time.Millisecond
+
+	coord := NewCoordinator(plat, cfg, nil)
+	if err := coord.Register(); err != nil {
+		t.Fatal(err)
+	}
+	sr := coord.RunStage(StageBase, prof)
+	if sr.Verdict != VerdictStopped {
+		t.Fatalf("verdict = %v, want Stopped (4ms × crowd crosses 60ms)", sr.Verdict)
+	}
+	if sr.StoppingCrowd < 15 || sr.StoppingCrowd > 30 {
+		t.Errorf("StoppingCrowd = %d, want 15-30", sr.StoppingCrowd)
+	}
+	if target.Served() == 0 {
+		t.Error("target served no requests")
+	}
+}
+
+// TestRunSimulatedStage exercises the single-stage helper.
+func TestRunSimulatedStage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCrowd = 30
+	sr, run, err := RunSimulatedStage(SimTarget{
+		Server: PresetQTNP(), Site: PresetQTSite(7), Clients: 60, Seed: 5,
+	}, cfg, StageBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr == nil || len(sr.Epochs) == 0 {
+		t.Fatal("no epochs")
+	}
+	if run.Profile == nil || run.Server == nil || run.Monitor == nil {
+		t.Error("SimRun handles missing")
+	}
+	if run.VirtualElapsed <= 0 {
+		t.Error("no virtual time elapsed")
+	}
+	if run.Result.Stage(StageBase) != sr {
+		t.Error("Result does not contain the stage")
+	}
+}
+
+// TestSimTargetRequiresSite checks input validation.
+func TestSimTargetRequiresSite(t *testing.T) {
+	if _, err := RunSimulated(SimTarget{Server: PresetQTNP()}, DefaultConfig()); err == nil {
+		t.Error("nil site accepted")
+	}
+	if _, _, err := RunSimulatedStage(SimTarget{}, DefaultConfig(), StageBase); err == nil {
+		t.Error("nil site accepted by stage runner")
+	}
+}
+
+// TestCommandLossShrinksCrowd: with heavy UDP command loss the received
+// sample counts drop below the scheduled counts, as in Table 2.
+func TestCommandLossShrinksCrowd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Threshold = time.Hour
+	cfg.MaxCrowd = 40
+	sr, _, err := RunSimulatedStage(SimTarget{
+		Server: PresetQTP(), Site: PresetQTSite(7), Clients: 60, Seed: 5,
+		CommandLoss: 0.25,
+	}, cfg, StageBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := 0
+	for _, e := range sr.Epochs {
+		if e.Received < e.Scheduled {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Error("25% command loss produced no shrunken epochs")
+	}
+}
+
+// TestMeasurersThroughFacade drives the measurer extension via the public
+// API against a simulated target.
+func TestMeasurersThroughFacade(t *testing.T) {
+	srvCfg, site := PresetLab(BackendMongrel)
+	cfg := DefaultConfig()
+	cfg.Threshold = time.Hour
+	cfg.MaxCrowd = 30
+	cfg.Measurers = []core.Request{{Method: "HEAD", URL: "/index.html"}}
+	cfg.MeasurerReplicas = 2
+	sr, _, err := RunSimulatedStage(SimTarget{
+		Server: srvCfg, Site: site, Clients: 60, LAN: true, Seed: 9,
+	}, cfg, StageLargeObject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withMeasurers := 0
+	for _, e := range sr.Epochs {
+		if len(e.MeasurerMedians) > 0 {
+			withMeasurers++
+		}
+	}
+	if withMeasurers != len(sr.Epochs) {
+		t.Errorf("measurer medians on %d of %d epochs", withMeasurers, len(sr.Epochs))
+	}
+}
+
+// TestAssessOnSimResult: full pipeline from simulation to assessment.
+func TestAssessOnSimResult(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCrowd = 50
+	res, err := RunSimulated(SimTarget{
+		Server: PresetUniv3(), Site: PresetUniv3Site(5), Clients: 65, Seed: 99,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Assess(res)
+	if a.DDoS.String() != "highly-vulnerable" {
+		t.Errorf("univ3 DDoS grade = %v, want highly-vulnerable (weak query path, strong link)", a.DDoS)
+	}
+}
+
+// TestStaggerViaFacade: the staggered extension flows through SimTarget.
+func TestStaggerViaFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCrowd = 30
+	cfg.Stagger = 200 * time.Millisecond
+	sr, run, err := RunSimulatedStage(SimTarget{
+		Server: PresetUniv1(), Site: PresetUniv1Site(5), Clients: 60, Seed: 3,
+	}, cfg, StageBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Verdict != VerdictNoStop {
+		t.Errorf("staggered verdict = %v, want NoStop on the weak server", sr.Verdict)
+	}
+	// Staggered arrivals must actually be spread out at the target.
+	var mfcArrivals []time.Duration
+	for _, a := range run.Server.AccessLog() {
+		if a.Tag == "mfc" {
+			mfcArrivals = append(mfcArrivals, a.At)
+		}
+	}
+	if len(mfcArrivals) == 0 {
+		t.Fatal("no MFC arrivals logged")
+	}
+}

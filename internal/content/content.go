@@ -1,0 +1,186 @@
+// Package content models the content hosted by a web server and implements
+// the MFC profiling stage: crawling a target site, discovering objects, and
+// classifying them into the request categories the paper defines (§2.2.1) —
+// regular/text, binaries, images, and queries — and into the two size-based
+// groups the stages use: Large Objects (static, > 100 KB) and Small Queries
+// (dynamic, response < 15 KB).
+package content
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Kind is the coarse content-type category derived from the URL.
+type Kind int
+
+const (
+	// KindText covers regular pages: .html, .htm, .txt, and extensionless
+	// paths that are not queries.
+	KindText Kind = iota
+	// KindBinary covers downloadable blobs: .pdf, .exe, .tar.gz, .zip, .iso,
+	// .mp4, and similar.
+	KindBinary
+	// KindImage covers .gif, .jpg, .jpeg, .png, .ico, .svg.
+	KindImage
+	// KindQuery covers URLs with a '?' (CGI-style dynamic responses).
+	KindQuery
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindText:
+		return "text"
+	case KindBinary:
+		return "binary"
+	case KindImage:
+		return "image"
+	case KindQuery:
+		return "query"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Thresholds from the paper (§2.2.1).
+const (
+	// LargeObjectMin is the minimum size for the Large Objects group: big
+	// enough that TCP exits slow start and saturates the path.
+	LargeObjectMin = 100 * 1024
+	// LargeObjectMax caps Large Objects per the §5 study (100KB–2MB).
+	LargeObjectMax = 2 * 1024 * 1024
+	// SmallQueryMax is the maximum response size for the Small Queries
+	// group: small enough that bandwidth stays under-utilized.
+	SmallQueryMax = 15 * 1024
+)
+
+// Object is one addressable object on a site.
+type Object struct {
+	URL     string
+	Kind    Kind
+	Size    int64 // response body size in bytes
+	Dynamic bool  // response generated per request (DB/CPU work)
+	// Links lists URLs referenced by this object, used by the crawler when
+	// the object is an HTML page.
+	Links []string
+}
+
+// IsLargeObject reports whether the object qualifies for the Large Object
+// stage: a static file in [LargeObjectMin, LargeObjectMax].
+func (o Object) IsLargeObject() bool {
+	return !o.Dynamic && o.Size >= LargeObjectMin && o.Size <= LargeObjectMax
+}
+
+// IsSmallQuery reports whether the object qualifies for the Small Query
+// stage: a dynamic response under SmallQueryMax.
+func (o Object) IsSmallQuery() bool {
+	return o.Dynamic && o.Size < SmallQueryMax
+}
+
+var binaryExts = map[string]bool{
+	".pdf": true, ".exe": true, ".gz": true, ".tgz": true, ".zip": true,
+	".iso": true, ".dmg": true, ".msi": true, ".rpm": true, ".deb": true,
+	".mp4": true, ".avi": true, ".mov": true, ".mp3": true, ".bin": true,
+	".tar": true, ".7z": true, ".bz2": true, ".xz": true,
+}
+
+var imageExts = map[string]bool{
+	".gif": true, ".jpg": true, ".jpeg": true, ".png": true,
+	".ico": true, ".svg": true, ".bmp": true, ".webp": true,
+}
+
+var textExts = map[string]bool{
+	".html": true, ".htm": true, ".txt": true, ".css": true,
+	".js": true, ".xml": true, ".md": true,
+}
+
+// Classify derives the Kind of a URL using the paper's heuristics: a '?'
+// marks a query; otherwise the file extension decides.
+func Classify(url string) Kind {
+	if strings.Contains(url, "?") {
+		return KindQuery
+	}
+	p := url
+	if i := strings.Index(p, "#"); i >= 0 {
+		p = p[:i]
+	}
+	ext := strings.ToLower(path.Ext(p))
+	// Handle double extensions like .tar.gz: path.Ext gives ".gz", which is
+	// already in binaryExts.
+	switch {
+	case binaryExts[ext]:
+		return KindBinary
+	case imageExts[ext]:
+		return KindImage
+	case textExts[ext], ext == "", ext == ".php", ext == ".asp", ext == ".jsp", ext == ".cgi":
+		// Extensionless and script-suffixed URLs without a query string are
+		// treated as regular pages (their GET returns HTML).
+		return KindText
+	default:
+		return KindBinary // unknown extensions are conservatively binary
+	}
+}
+
+// Site is an immutable collection of objects indexed by URL, with a base
+// page. It is the unit a Profile is computed from and the content model a
+// simulated server hosts.
+type Site struct {
+	Host    string
+	Base    string // URL of the base page (e.g. "/index.html")
+	objects map[string]Object
+}
+
+// NewSite builds a Site from objects. The base URL must be present among
+// the objects.
+func NewSite(host, base string, objects []Object) (*Site, error) {
+	m := make(map[string]Object, len(objects))
+	for _, o := range objects {
+		if o.URL == "" {
+			return nil, fmt.Errorf("content: object with empty URL on host %q", host)
+		}
+		if _, dup := m[o.URL]; dup {
+			return nil, fmt.Errorf("content: duplicate URL %q on host %q", o.URL, host)
+		}
+		m[o.URL] = o
+	}
+	if _, ok := m[base]; !ok {
+		return nil, fmt.Errorf("content: base page %q not among objects of host %q", base, host)
+	}
+	return &Site{Host: host, Base: base, objects: m}, nil
+}
+
+// Lookup returns the object at url.
+func (s *Site) Lookup(url string) (Object, bool) {
+	o, ok := s.objects[url]
+	return o, ok
+}
+
+// BasePage returns the site's base page object.
+func (s *Site) BasePage() Object {
+	return s.objects[s.Base]
+}
+
+// Len returns the number of objects.
+func (s *Site) Len() int { return len(s.objects) }
+
+// URLs returns all object URLs in deterministic (sorted) order.
+func (s *Site) URLs() []string {
+	urls := make([]string, 0, len(s.objects))
+	for u := range s.objects {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	return urls
+}
+
+// Objects returns all objects in deterministic (URL-sorted) order.
+func (s *Site) Objects() []Object {
+	urls := s.URLs()
+	out := make([]Object, len(urls))
+	for i, u := range urls {
+		out[i] = s.objects[u]
+	}
+	return out
+}

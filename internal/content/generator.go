@@ -1,0 +1,182 @@
+package content
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig controls synthetic site generation. Zero values get sensible
+// defaults resembling a mid-size departmental web server.
+type GenConfig struct {
+	Pages         int   // HTML pages (default 40)
+	ImagesPerPage int   // images linked from each page (default 3)
+	Binaries      int   // downloadable blobs (default 6)
+	Queries       int   // distinct dynamic query URLs (default 20)
+	LargeObjects  int   // of the binaries, how many in 100KB..2MB (default 3)
+	MeanPageSize  int64 // default 8KB
+	MeanQuerySize int64 // default 2KB (always < 15KB so queries qualify)
+	// MaxLargeObjectSize caps large-object sizes below the study's 2MB
+	// ceiling (default LargeObjectMax). Sites whose biggest downloads are
+	// modest use this.
+	MaxLargeObjectSize int64
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Pages <= 0 {
+		c.Pages = 40
+	}
+	if c.ImagesPerPage < 0 {
+		c.ImagesPerPage = 0
+	} else if c.ImagesPerPage == 0 {
+		c.ImagesPerPage = 3
+	}
+	if c.Binaries <= 0 {
+		c.Binaries = 6
+	}
+	if c.Queries < 0 {
+		c.Queries = 0
+	} else if c.Queries == 0 {
+		c.Queries = 20
+	}
+	if c.LargeObjects <= 0 {
+		c.LargeObjects = 3
+	}
+	if c.LargeObjects > c.Binaries {
+		c.LargeObjects = c.Binaries
+	}
+	if c.MeanPageSize <= 0 {
+		c.MeanPageSize = 8 * 1024
+	}
+	if c.MeanQuerySize <= 0 {
+		c.MeanQuerySize = 2 * 1024
+	}
+	if c.MaxLargeObjectSize <= 0 || c.MaxLargeObjectSize > LargeObjectMax {
+		c.MaxLargeObjectSize = LargeObjectMax
+	}
+	if c.MaxLargeObjectSize <= LargeObjectMin {
+		c.MaxLargeObjectSize = LargeObjectMin + 1
+	}
+	return c
+}
+
+// Generate builds a deterministic synthetic Site: an index page linking to a
+// tree of pages, images, binaries (some Large Objects) and query URLs. The
+// same (host, seed, cfg) always yields the same site.
+func Generate(host string, seed int64, cfg GenConfig) *Site {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	var objects []Object
+
+	// Query URLs.
+	queryURLs := make([]string, 0, cfg.Queries)
+	for i := 0; i < cfg.Queries; i++ {
+		u := fmt.Sprintf("/search.cgi?q=item%03d", i)
+		size := clamp64(jitter64(rng, cfg.MeanQuerySize), 64, SmallQueryMax-1)
+		objects = append(objects, Object{URL: u, Kind: KindQuery, Size: size, Dynamic: true})
+		queryURLs = append(queryURLs, u)
+	}
+
+	// Binaries; the first cfg.LargeObjects are sized into the LO band.
+	binURLs := make([]string, 0, cfg.Binaries)
+	for i := 0; i < cfg.Binaries; i++ {
+		u := fmt.Sprintf("/files/dist%02d.tar.gz", i)
+		var size int64
+		if i < cfg.LargeObjects {
+			size = LargeObjectMin + rng.Int63n(cfg.MaxLargeObjectSize-LargeObjectMin)
+		} else {
+			size = clamp64(jitter64(rng, 40*1024), 1024, LargeObjectMin-1)
+		}
+		objects = append(objects, Object{URL: u, Kind: KindBinary, Size: size})
+		binURLs = append(binURLs, u)
+	}
+
+	// Images (shared pool; pages link into it).
+	nImages := cfg.Pages * cfg.ImagesPerPage
+	if nImages > 200 {
+		nImages = 200
+	}
+	imgURLs := make([]string, 0, nImages)
+	for i := 0; i < nImages; i++ {
+		u := fmt.Sprintf("/img/pic%03d.jpg", i)
+		size := clamp64(jitter64(rng, 24*1024), 512, LargeObjectMin-1)
+		objects = append(objects, Object{URL: u, Kind: KindImage, Size: size})
+		imgURLs = append(imgURLs, u)
+	}
+
+	// Pages. Page i links to a few later pages (tree-ish), some images,
+	// an occasional binary and an occasional query.
+	pageURL := func(i int) string {
+		if i == 0 {
+			return "/index.html"
+		}
+		return fmt.Sprintf("/pages/p%03d.html", i)
+	}
+	for i := 0; i < cfg.Pages; i++ {
+		var links []string
+		for j := i*2 + 1; j <= i*2+2 && j < cfg.Pages; j++ {
+			links = append(links, pageURL(j))
+		}
+		for k := 0; k < cfg.ImagesPerPage && len(imgURLs) > 0; k++ {
+			links = append(links, imgURLs[rng.Intn(len(imgURLs))])
+		}
+		if len(binURLs) > 0 && rng.Intn(3) == 0 {
+			links = append(links, binURLs[rng.Intn(len(binURLs))])
+		}
+		if len(queryURLs) > 0 && rng.Intn(2) == 0 {
+			links = append(links, queryURLs[rng.Intn(len(queryURLs))])
+		}
+		size := clamp64(jitter64(rng, cfg.MeanPageSize), 256, 64*1024)
+		objects = append(objects, Object{
+			URL: pageURL(i), Kind: KindText, Size: size, Links: dedupe(links),
+		})
+	}
+
+	// The index must reach everything for the crawler: give it direct links
+	// to a sample of binaries and queries too.
+	idx := &objects[len(objects)-cfg.Pages] // page 0 appended first among pages
+	idx.Links = dedupe(append(idx.Links, binURLs...))
+	if len(queryURLs) > 0 {
+		idx.Links = dedupe(append(idx.Links, queryURLs[0]))
+	}
+
+	site, err := NewSite(host, "/index.html", objects)
+	if err != nil {
+		panic("content: generator produced invalid site: " + err.Error())
+	}
+	return site
+}
+
+func jitter64(rng *rand.Rand, mean int64) int64 {
+	// Log-normal-ish: mean * 2^U(-1.5,1.5), heavy enough to vary sizes.
+	f := rng.Float64()*3 - 1.5
+	mult := 1.0
+	for i := 0.0; i < f; i += 0.5 {
+		mult *= 1.41
+	}
+	for i := 0.0; i > f; i -= 0.5 {
+		mult /= 1.41
+	}
+	return int64(float64(mean) * mult)
+}
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func dedupe(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package content
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fetcher abstracts the HTTP access the crawler needs, so the profiling
+// stage works identically against the simulator and a live site.
+type Fetcher interface {
+	// Head returns the size of the object at url (Content-Length).
+	Head(ctx context.Context, url string) (size int64, err error)
+	// Get returns the body size and the out-links of the object at url.
+	// For non-HTML objects links is empty.
+	Get(ctx context.Context, url string) (size int64, links []string, err error)
+}
+
+// Profile is the outcome of the profiling stage (§2.2.1): the discovered
+// objects grouped into the categories the MFC stages request from.
+type Profile struct {
+	Host         string
+	BaseURL      string
+	Discovered   int
+	ByKind       map[Kind]int
+	LargeObjects []Object // static, 100KB..2MB, sorted by size descending
+	SmallQueries []Object // dynamic, < 15KB, sorted by size ascending
+}
+
+// HasLargeObject reports whether the Large Object stage can run.
+func (p *Profile) HasLargeObject() bool { return len(p.LargeObjects) > 0 }
+
+// HasSmallQuery reports whether the Small Query stage can run.
+func (p *Profile) HasSmallQuery() bool { return len(p.SmallQueries) > 0 }
+
+// String renders a one-line summary.
+func (p *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile(%s): %d objects", p.Host, p.Discovered)
+	kinds := []Kind{KindText, KindBinary, KindImage, KindQuery}
+	for _, k := range kinds {
+		if n := p.ByKind[k]; n > 0 {
+			fmt.Fprintf(&b, " %s:%d", k, n)
+		}
+	}
+	fmt.Fprintf(&b, " large:%d smallq:%d", len(p.LargeObjects), len(p.SmallQueries))
+	return b.String()
+}
+
+// CrawlConfig bounds the profiling crawl.
+type CrawlConfig struct {
+	MaxObjects int // stop after discovering this many (default 500)
+	MaxDepth   int // link depth from the base page (default 5)
+}
+
+func (c CrawlConfig) withDefaults() CrawlConfig {
+	if c.MaxObjects <= 0 {
+		c.MaxObjects = 500
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 5
+	}
+	return c
+}
+
+// ErrEmptyCrawl is returned when the base page cannot be fetched.
+var ErrEmptyCrawl = errors.New("content: crawl discovered no objects")
+
+// Crawl performs the profiling stage: a bounded BFS from the base page,
+// classifying every discovered URL and sizing it with a HEAD request (GET
+// for queries, as the paper does, since HEAD on CGI output is unreliable).
+func Crawl(ctx context.Context, f Fetcher, host, base string, cfg CrawlConfig) (*Profile, error) {
+	cfg = cfg.withDefaults()
+	type item struct {
+		url   string
+		depth int
+	}
+	seen := map[string]bool{base: true}
+	queue := []item{{base, 0}}
+	prof := &Profile{Host: host, BaseURL: base, ByKind: make(map[Kind]int)}
+
+	for len(queue) > 0 && prof.Discovered < cfg.MaxObjects {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		it := queue[0]
+		queue = queue[1:]
+		kind := Classify(it.url)
+
+		var size int64
+		var links []string
+		var err error
+		if kind == KindQuery {
+			size, links, err = f.Get(ctx, it.url)
+		} else if kind == KindText {
+			// Pages are fetched with GET to harvest links.
+			size, links, err = f.Get(ctx, it.url)
+		} else {
+			size, err = f.Head(ctx, it.url)
+		}
+		if err != nil {
+			continue // unreachable object: skip, as a crawler must
+		}
+
+		obj := Object{URL: it.url, Kind: kind, Size: size, Dynamic: kind == KindQuery}
+		prof.Discovered++
+		prof.ByKind[kind]++
+		if obj.IsLargeObject() {
+			prof.LargeObjects = append(prof.LargeObjects, obj)
+		}
+		if obj.IsSmallQuery() {
+			prof.SmallQueries = append(prof.SmallQueries, obj)
+		}
+
+		if it.depth < cfg.MaxDepth {
+			for _, l := range links {
+				if !seen[l] {
+					seen[l] = true
+					queue = append(queue, item{l, it.depth + 1})
+				}
+			}
+		}
+	}
+	if prof.Discovered == 0 {
+		return nil, ErrEmptyCrawl
+	}
+	sort.Slice(prof.LargeObjects, func(i, j int) bool {
+		if prof.LargeObjects[i].Size != prof.LargeObjects[j].Size {
+			return prof.LargeObjects[i].Size > prof.LargeObjects[j].Size
+		}
+		return prof.LargeObjects[i].URL < prof.LargeObjects[j].URL
+	})
+	sort.Slice(prof.SmallQueries, func(i, j int) bool {
+		if prof.SmallQueries[i].Size != prof.SmallQueries[j].Size {
+			return prof.SmallQueries[i].Size < prof.SmallQueries[j].Size
+		}
+		return prof.SmallQueries[i].URL < prof.SmallQueries[j].URL
+	})
+	return prof, nil
+}
+
+// SiteFetcher adapts a Site to the Fetcher interface (used by the simulated
+// profiling stage and in tests).
+type SiteFetcher struct{ Site *Site }
+
+// Head implements Fetcher.
+func (sf SiteFetcher) Head(_ context.Context, url string) (int64, error) {
+	o, ok := sf.Site.Lookup(url)
+	if !ok {
+		return 0, fmt.Errorf("content: %s: not found", url)
+	}
+	return o.Size, nil
+}
+
+// Get implements Fetcher.
+func (sf SiteFetcher) Get(_ context.Context, url string) (int64, []string, error) {
+	o, ok := sf.Site.Lookup(url)
+	if !ok {
+		return 0, nil, fmt.Errorf("content: %s: not found", url)
+	}
+	return o.Size, o.Links, nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mkResult(base, query, large int, probed int) *Result {
+	mk := func(stage Stage, stop int) *StageResult {
+		sr := &StageResult{Stage: stage, Threshold: 100 * time.Millisecond}
+		if stop > 0 {
+			sr.Verdict = VerdictStopped
+			sr.StoppingCrowd = stop
+		} else {
+			sr.Verdict = VerdictNoStop
+			sr.Epochs = []EpochResult{{Kind: EpochRamp, Crowd: probed}}
+		}
+		return sr
+	}
+	return &Result{
+		Target: "t",
+		Stages: []*StageResult{
+			mk(StageBase, base), mk(StageSmallQuery, query), mk(StageLargeObject, large),
+		},
+	}
+}
+
+func TestAssessResilient(t *testing.T) {
+	a := Assess(mkResult(0, 0, 0, 50))
+	if a.DDoS != DDoSResilient {
+		t.Errorf("DDoS = %v, want resilient", a.DDoS)
+	}
+	for _, f := range a.Findings {
+		if f.Constrained {
+			t.Errorf("finding %+v constrained; want none", f)
+		}
+	}
+}
+
+func TestAssessHighlyVulnerable(t *testing.T) {
+	// Weak query path, strong link — the §6 marker.
+	a := Assess(mkResult(0, 30, 0, 50))
+	if a.DDoS != DDoSHighlyVulnerable {
+		t.Errorf("DDoS = %v, want highly-vulnerable", a.DDoS)
+	}
+	if !strings.Contains(a.DDoSNote, "small-query") {
+		t.Errorf("note = %q, should name the weak path", a.DDoSNote)
+	}
+}
+
+func TestAssessModerateWhenBandwidthAlsoStops(t *testing.T) {
+	a := Assess(mkResult(40, 30, 35, 50))
+	if a.DDoS != DDoSModerate {
+		t.Errorf("DDoS = %v, want moderate", a.DDoS)
+	}
+}
+
+func TestAssessSoftwareArtifactHeuristic(t *testing.T) {
+	// All stages stopping within a narrow band: the Univ-2 pattern.
+	a := Assess(mkResult(130, 140, 150, 150))
+	if !a.SoftwareArtifact {
+		t.Error("narrow stop band not flagged as software artifact")
+	}
+	// Widely separated stops: no flag.
+	a = Assess(mkResult(20, 140, 0, 150))
+	if a.SoftwareArtifact {
+		t.Error("wide stop band incorrectly flagged")
+	}
+}
+
+func TestAssessStringRendering(t *testing.T) {
+	a := Assess(mkResult(25, 50, 0, 55))
+	s := a.String()
+	for _, want := range []string{"http-processing", "backend-processing", "access-bandwidth", "ddos-vulnerability"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("assessment rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCompareStages(t *testing.T) {
+	s := CompareStages(mkResult(25, 50, 0, 55))
+	if !strings.Contains(s, "http-processing") || !strings.Contains(s, "25") {
+		t.Errorf("CompareStages = %q", s)
+	}
+	s = CompareStages(mkResult(0, 0, 0, 55))
+	if !strings.Contains(s, "unconstrained") {
+		t.Errorf("CompareStages all-NoStop = %q", s)
+	}
+	if got := CompareStages(&Result{Target: "x"}); got != "no stages completed" {
+		t.Errorf("CompareStages empty = %q", got)
+	}
+}
+
+func TestSubsystemMapping(t *testing.T) {
+	if subsystemFor(StageBase) != SubsystemHTTP ||
+		subsystemFor(StageSmallQuery) != SubsystemBackend ||
+		subsystemFor(StageLargeObject) != SubsystemBandwidth {
+		t.Error("stage -> subsystem mapping wrong")
+	}
+}
+
+func TestVerdictAndGradeStrings(t *testing.T) {
+	if VerdictNoStop.String() != "NoStop" || VerdictStopped.String() != "Stopped" {
+		t.Error("verdict strings")
+	}
+	if DDoSResilient.String() != "resilient" || DDoSHighlyVulnerable.String() != "highly-vulnerable" {
+		t.Error("grade strings")
+	}
+}

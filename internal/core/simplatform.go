@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mfc/internal/netsim"
+	"mfc/internal/websim"
+)
+
+// SimPlatform binds the coordinator to the discrete-event simulator: the
+// coordinator runs as a simulated process at UW-Madison, the clients are
+// simulated PlanetLab nodes, and the target is a websim.Server.
+type SimPlatform struct {
+	env     *netsim.Env
+	server  *websim.Server
+	clients []*SimClient
+	proc    *netsim.Proc // coordinator's process; set by Bind
+
+	// CommandLoss and PollLoss are UDP loss probabilities for control
+	// messages (the paper's control protocol has no retransmit).
+	CommandLoss float64
+	PollLoss    float64
+}
+
+// SimClientSpec describes one simulated wide-area client.
+type SimClientSpec struct {
+	ID        string
+	TargetRTT time.Duration // propagation RTT to the target
+	CtrlRTT   time.Duration // RTT to the coordinator
+	Bandwidth float64       // client access bandwidth, bytes/sec
+	Jitter    float64       // relative per-measurement RTT jitter (e.g. 0.05)
+	// Middle, when non-nil, is a shared bottleneck link several network
+	// hops from the target that this client's responses also traverse
+	// (§2.2.3's confound: "the paths between the target and many of the
+	// MFC clients may have bottleneck links which lie several network hops
+	// away"). Used by the quantile ablation.
+	Middle *netsim.Link
+}
+
+// PlanetLabSpecs draws n client specs from distributions resembling the
+// PlanetLab testbed: target RTTs tens to a couple hundred ms, decent
+// academic-network bandwidth.
+func PlanetLabSpecs(env *netsim.Env, n int) []SimClientSpec {
+	specs := make([]SimClientSpec, n)
+	rng := env.Rand()
+	for i := range specs {
+		// Log-ish RTT spread: 20..240 ms.
+		rtt := time.Duration(20+rng.ExpFloat64()*55) * time.Millisecond
+		if rtt > 240*time.Millisecond {
+			rtt = 240 * time.Millisecond
+		}
+		ctrl := time.Duration(15+rng.ExpFloat64()*45) * time.Millisecond
+		if ctrl > 200*time.Millisecond {
+			ctrl = 200 * time.Millisecond
+		}
+		specs[i] = SimClientSpec{
+			ID:        fmt.Sprintf("pl%03d", i),
+			TargetRTT: rtt,
+			CtrlRTT:   ctrl,
+			Bandwidth: 2e6 + rng.Float64()*10e6, // 2..12 MB/s
+			Jitter:    0.02 + rng.Float64()*0.06,
+		}
+	}
+	return specs
+}
+
+// LANSpecs models the §3 lab setting: clients on the same LAN as the
+// target (sub-millisecond RTT, fast links).
+func LANSpecs(env *netsim.Env, n int) []SimClientSpec {
+	specs := make([]SimClientSpec, n)
+	rng := env.Rand()
+	for i := range specs {
+		specs[i] = SimClientSpec{
+			ID:        fmt.Sprintf("lan%03d", i),
+			TargetRTT: time.Duration(200+rng.Intn(400)) * time.Microsecond,
+			CtrlRTT:   time.Duration(200+rng.Intn(300)) * time.Microsecond,
+			Bandwidth: 100e6,
+			Jitter:    0.05,
+		}
+	}
+	return specs
+}
+
+// NewSimPlatform assembles the platform. Bind must be called from within
+// the coordinator's simulated process before running an experiment (the
+// RunSim* helpers in package mfc handle this).
+func NewSimPlatform(env *netsim.Env, server *websim.Server, specs []SimClientSpec) *SimPlatform {
+	p := &SimPlatform{env: env, server: server}
+	for _, spec := range specs {
+		p.clients = append(p.clients, newSimClient(env, server, spec))
+	}
+	return p
+}
+
+// Bind attaches the coordinator's process, giving the platform its clock.
+func (p *SimPlatform) Bind(proc *netsim.Proc) { p.proc = proc }
+
+// Clock implements Platform.
+func (p *SimPlatform) Clock() Clock { return simClock{p} }
+
+type simClock struct{ p *SimPlatform }
+
+func (c simClock) Now() time.Duration    { return c.p.env.Now() }
+func (c simClock) Sleep(d time.Duration) { c.p.proc.Sleep(d) }
+
+// ActiveClients implements Platform: every client answers the liveness
+// probe (probe cost: one control RTT each, sequentially — cheap in virtual
+// time and faithful to Figure 2's registration step).
+func (p *SimPlatform) ActiveClients() ([]Client, error) {
+	out := make([]Client, len(p.clients))
+	for i, cl := range p.clients {
+		out[i] = cl
+		cl.platform = p
+	}
+	return out, nil
+}
+
+// SimClient is one simulated PlanetLab node.
+type SimClient struct {
+	env      *netsim.Env
+	server   *websim.Server
+	spec     SimClientSpec
+	platform *SimPlatform
+
+	base    Baseline // most recent MeasureTarget outcome
+	results map[int][]Sample
+}
+
+func newSimClient(env *netsim.Env, server *websim.Server, spec SimClientSpec) *SimClient {
+	return &SimClient{env: env, server: server, spec: spec, results: make(map[int][]Sample)}
+}
+
+// ID implements Client.
+func (c *SimClient) ID() string { return c.spec.ID }
+
+// rtt draws one RTT observation around the base value.
+func (c *SimClient) rtt(base time.Duration) time.Duration {
+	j := 1 + c.spec.Jitter*math.Abs(c.env.Rand().NormFloat64())
+	return time.Duration(float64(base) * j)
+}
+
+// ControlRTT implements Client: the coordinator pings the client. The
+// coordinator's process pays the round trip in virtual time.
+func (c *SimClient) ControlRTT() (time.Duration, error) {
+	d := c.rtt(c.spec.CtrlRTT)
+	if c.platform != nil && c.platform.proc != nil {
+		c.platform.proc.Sleep(d)
+	}
+	return d, nil
+}
+
+// MeasureTarget implements Client: the client pings the target and fetches
+// each request once, sequentially, while the coordinator waits.
+func (c *SimClient) MeasureTarget(reqs []Request) (Baseline, error) {
+	bl := Baseline{BaseTimes: make(map[string]time.Duration, len(reqs))}
+	bl.TargetRTT = c.rtt(c.spec.TargetRTT)
+
+	done := c.env.NewEvent()
+	var failed error
+	c.env.Go(c.spec.ID+"/baseline", func(p *netsim.Proc) {
+		defer done.Trigger()
+		for _, rq := range reqs {
+			s := c.doRequest(p, 0, rq, 10*time.Second)
+			if s.Err != "" {
+				failed = fmt.Errorf("core: baseline for %s failed: %s", rq.URL, s.Err)
+				return
+			}
+			bl.BaseTimes[rq.URL] = s.Resp
+		}
+	})
+	// The coordinator waits for this client's sequential measurements.
+	c.platform.proc.Wait(done)
+	if failed != nil {
+		return Baseline{}, failed
+	}
+	c.base = bl
+	return bl, nil
+}
+
+// Fire implements Client. The command travels half a control RTT (with
+// jitter and optional loss); the client then sleeps until its locally
+// computed fire instant and issues the burst.
+func (c *SimClient) Fire(epoch int, arriveAt time.Duration, reqs []Request, timeout time.Duration) {
+	if c.platform.CommandLoss > 0 && c.env.Rand().Float64() < c.platform.CommandLoss {
+		return // command lost; no retransmit (§2.3)
+	}
+	cmdDelay := c.rtt(c.spec.CtrlRTT) / 2
+	estRTT := c.base.TargetRTT
+	c.env.GoAfter(fmt.Sprintf("%s/epoch%d", c.spec.ID, epoch), cmdDelay, func(p *netsim.Proc) {
+		// Client-side scheduling: fire so the request arrives at arriveAt,
+		// assuming the target RTT estimate still holds (§2.2.4).
+		fireAt := arriveAt - estRTT*3/2
+		if wait := fireAt - p.Now(); wait > 0 {
+			p.Sleep(wait)
+		}
+		if len(reqs) == 1 {
+			s := c.doRequest(p, epoch, reqs[0], timeout)
+			c.results[epoch] = append(c.results[epoch], s)
+			return
+		}
+		// MFC-mr: parallel connections. Opening m sockets back-to-back is
+		// not instantaneous on a real client — connection setup, SYN
+		// pacing and kernel scheduling stagger them by tens of
+		// milliseconds, which is why Table 2's arrival spreads are looser
+		// than the single-connection Figure 3.
+		doneAll := c.env.NewEvent()
+		remaining := len(reqs)
+		for i, rq := range reqs {
+			rq := rq
+			setup := time.Duration(0)
+			if i > 0 {
+				setup = time.Duration(c.env.Rand().ExpFloat64() * 40 * float64(time.Millisecond))
+				if setup > 2*time.Second {
+					setup = 2 * time.Second
+				}
+			}
+			c.env.GoAfter(c.spec.ID+"/mr", setup, func(q *netsim.Proc) {
+				s := c.doRequest(q, epoch, rq, timeout)
+				c.results[epoch] = append(c.results[epoch], s)
+				remaining--
+				if remaining == 0 {
+					doneAll.Trigger()
+				}
+			})
+		}
+		p.Wait(doneAll)
+	})
+}
+
+// doRequest performs one HTTP request in simulated time: 1.5 RTT handshake
+// until the request hits the server, server processing/transfer, and half
+// an RTT for the tail of the response. Enforces the client-side timeout.
+func (c *SimClient) doRequest(p *netsim.Proc, epoch int, rq Request, timeout time.Duration) Sample {
+	start := p.Now()
+	actual := c.rtt(c.spec.TargetRTT)
+	handshake := actual * 3 / 2
+	p.Sleep(handshake)
+	arrive := p.Now()
+
+	tag := "mfc"
+	if epoch == 0 {
+		tag = "baseline"
+	}
+	deadline := start + timeout
+	resp := c.server.Serve(p, tag, websim.Request{
+		Method:    rq.Method,
+		URL:       rq.URL,
+		ClientBW:  c.spec.Bandwidth,
+		ClientRTT: actual,
+		Deadline:  deadline - actual/2, // leave room for the return path
+	})
+	s := Sample{
+		Client:   c.spec.ID,
+		URL:      rq.URL,
+		Status:   resp.Status,
+		Bytes:    resp.Bytes,
+		Base:     c.base.BaseTimes[rq.URL],
+		ArriveAt: arrive,
+	}
+	// Shared middle bottleneck: the response also crosses it (serialized
+	// after the access link — a conservative approximation that preserves
+	// the confound the 90th-percentile rule defends against).
+	if c.spec.Middle != nil && resp.Err == nil && resp.Bytes > 0 {
+		c.spec.Middle.Transfer(p, float64(resp.Bytes), c.spec.Bandwidth)
+	}
+	total := p.Now() - start + actual/2
+	if resp.Err != nil || total > timeout {
+		// Client killed the request at the timeout (Figure 2(b) step 2)
+		// or the server path failed.
+		if total > timeout || resp.Err == websim.ErrTimeout {
+			s.Resp = timeout
+			s.Err = "ERR"
+			s.Status = 0
+			return s
+		}
+		s.Resp = total
+		s.Err = resp.Err.Error()
+		return s
+	}
+	s.Resp = total
+	return s
+}
+
+// Collect implements Client.
+func (c *SimClient) Collect(epoch int) ([]Sample, bool) {
+	if c.platform.PollLoss > 0 && c.env.Rand().Float64() < c.platform.PollLoss {
+		return nil, false
+	}
+	return c.results[epoch], true
+}

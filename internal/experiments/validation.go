@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"mfc/internal/content"
+	"mfc/internal/core"
+	"mfc/internal/netsim"
+	"mfc/internal/stats"
+	"mfc/internal/websim"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 3 — synchronization: arrival times at the target for one 45-client
+// crowd.
+// ---------------------------------------------------------------------------
+
+// Figure3Result holds the per-request arrival offsets of a synchronized
+// crowd, relative to the earliest arrival.
+type Figure3Result struct {
+	Crowd    int
+	Offsets  []time.Duration // sorted ascending
+	Spread70 time.Duration   // width of the middle 70%
+	Spread90 time.Duration   // width of the middle 90%
+}
+
+// Figure3 runs a single 45-client synchronized epoch against the validation
+// server with PlanetLab-like clients and reads the target's access log,
+// exactly as §3.1 does.
+func Figure3(seed int64) (*Figure3Result, error) {
+	const crowd = 45
+	env := netsim.NewEnv(seed)
+	srvCfg := websim.ValidationConfig(websim.LinearModel{Slope: 0})
+	site := websim.ValidationSite()
+	server := websim.NewServer(env, srvCfg, site)
+	server.EnableAccessLog()
+
+	specs := core.PlanetLabSpecs(env, 65)
+	plat := core.NewSimPlatform(env, server, specs)
+
+	prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: site},
+		site.Host, site.Base, content.CrawlConfig{})
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Step = crowd
+	cfg.MaxCrowd = crowd
+	cfg.MinClients = crowd
+	cfg.Threshold = time.Hour // never stop: one clean epoch
+	var sr *core.StageResult
+	env.Go("coordinator", func(p *netsim.Proc) {
+		plat.Bind(p)
+		coord := core.NewCoordinator(plat, cfg, nil)
+		if err := coord.Register(); err != nil {
+			panic(err)
+		}
+		sr = coord.RunStage(core.StageBase, prof)
+	})
+	env.Run(0)
+	if sr == nil || len(sr.Epochs) == 0 {
+		return nil, fmt.Errorf("experiments: figure3 produced no epochs")
+	}
+
+	var arrivals []time.Duration
+	for _, a := range server.AccessLog() {
+		if a.Tag == "mfc" {
+			arrivals = append(arrivals, a.At)
+		}
+	}
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("experiments: figure3 logged no MFC arrivals")
+	}
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+	res := &Figure3Result{Crowd: crowd}
+	first := arrivals[0]
+	for _, a := range arrivals {
+		res.Offsets = append(res.Offsets, a-first)
+	}
+	res.Spread70 = spreadMiddle(res.Offsets, 0.70)
+	res.Spread90 = spreadMiddle(res.Offsets, 0.90)
+	return res, nil
+}
+
+func spreadMiddle(sorted []time.Duration, frac float64) time.Duration {
+	lo := stats.QuantileDuration(sorted, (1-frac)/2)
+	hi := stats.QuantileDuration(sorted, 1-(1-frac)/2)
+	return hi - lo
+}
+
+// Render prints the arrival series (client index vs arrival offset).
+func (r *Figure3Result) Render() string {
+	t := newTable(
+		fmt.Sprintf("Figure 3: request arrival times at target, crowd=%d (paper: 70%% within 5ms, 90%% within 30ms)", r.Crowd),
+		"req#", "arrival offset (ms)")
+	for i, off := range r.Offsets {
+		t.addf("%d|%s", i+1, ms(off))
+	}
+	t.addf("spread(70%%)|%s", ms(r.Spread70))
+	t.addf("spread(90%%)|%s", ms(r.Spread90))
+	return t.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — tracking synthetic response-time functions.
+// ---------------------------------------------------------------------------
+
+// TrackPoint is one crowd's ideal vs. measured normalized response time.
+type TrackPoint struct {
+	Crowd    int
+	Ideal    time.Duration
+	Measured time.Duration
+}
+
+// Figure4Result holds one model's tracking series.
+type Figure4Result struct {
+	Model  string
+	Points []TrackPoint
+	// MaxAbsErr and MeanAbsErr summarize tracking fidelity.
+	MaxAbsErr  time.Duration
+	MeanAbsErr time.Duration
+}
+
+// Figure4 measures how faithfully the MFC median tracks a synthetic
+// response-time model as the crowd grows 5..60 (§3.1, Figure 4).
+func Figure4(model websim.SyntheticModel, seed int64) (*Figure4Result, error) {
+	env := netsim.NewEnv(seed)
+	srvCfg := websim.ValidationConfig(model)
+	site := websim.ValidationSite()
+	server := websim.NewServer(env, srvCfg, site)
+
+	specs := core.PlanetLabSpecs(env, 65)
+	plat := core.NewSimPlatform(env, server, specs)
+	prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: site},
+		site.Host, site.Base, content.CrawlConfig{})
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Step = 5
+	cfg.MaxCrowd = 60
+	cfg.MinClients = 50
+	cfg.Threshold = time.Hour // trace the whole curve
+	var sr *core.StageResult
+	env.Go("coordinator", func(p *netsim.Proc) {
+		plat.Bind(p)
+		coord := core.NewCoordinator(plat, cfg, nil)
+		if err := coord.Register(); err != nil {
+			panic(err)
+		}
+		sr = coord.RunStage(core.StageBase, prof)
+	})
+	env.Run(0)
+
+	res := &Figure4Result{Model: model.Name()}
+	var totalErr time.Duration
+	crowds, medians := sr.CurveMedians()
+	for i, n := range crowds {
+		ideal := model.Delay(n)
+		p := TrackPoint{Crowd: n, Ideal: ideal, Measured: medians[i]}
+		res.Points = append(res.Points, p)
+		err := p.Measured - p.Ideal
+		if err < 0 {
+			err = -err
+		}
+		totalErr += err
+		if err > res.MaxAbsErr {
+			res.MaxAbsErr = err
+		}
+	}
+	if len(res.Points) > 0 {
+		res.MeanAbsErr = totalErr / time.Duration(len(res.Points))
+	}
+	return res, nil
+}
+
+// Render prints the ideal-vs-measured series.
+func (r *Figure4Result) Render() string {
+	t := newTable(
+		fmt.Sprintf("Figure 4 (%s): median normalized response time vs crowd size", r.Model),
+		"crowd", "ideal (ms)", "measured (ms)")
+	for _, p := range r.Points {
+		t.addf("%d|%s|%s", p.Crowd, ms(p.Ideal), ms(p.Measured))
+	}
+	t.addf("mean abs err|%s|", ms(r.MeanAbsErr))
+	return t.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — Large Object stage on the lab server: response time and
+// network usage vs crowd size, with CPU/memory/disk staying idle.
+// ---------------------------------------------------------------------------
+
+// ResourcePoint is one crowd's client-visible and server-side readings.
+type ResourcePoint struct {
+	Crowd      int
+	MedianResp time.Duration
+	NetKBs     float64 // outbound KB/s during the epoch window
+	CPUUtil    float64 // 0..1
+	MemMB      float64
+	DiskUtil   float64
+}
+
+// Figure5Result is the lab Large Object run.
+type Figure5Result struct {
+	Points []ResourcePoint
+}
+
+// Figure5 reproduces the §3.2 large-object workload: 50 LAN clients fetch
+// the same 100 KB object over a 100 Mbit access link.
+func Figure5(seed int64) (*Figure5Result, error) {
+	run, err := labRun(core.StageLargeObject, websim.BackendMongrel, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure5Result{Points: run}, nil
+}
+
+// Render prints the two Figure 5 series plus the idle resources.
+func (r *Figure5Result) Render() string {
+	t := newTable(
+		"Figure 5: same 100KB large object (paper: response time rises to ~400ms at 50; CPU/mem/disk negligible)",
+		"crowd", "median resp (ms)", "net (KB/s)", "cpu", "mem (MB)", "disk")
+	for _, p := range r.Points {
+		t.addf("%d|%s|%.0f|%.2f|%.0f|%.2f", p.Crowd, ms(p.MedianResp), p.NetKBs, p.CPUUtil, p.MemMB, p.DiskUtil)
+	}
+	return t.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — Small Query stage under FastCGI (memory blow-up) vs Mongrel
+// (flat).
+// ---------------------------------------------------------------------------
+
+// Figure6Result contrasts the two backends.
+type Figure6Result struct {
+	FastCGI []ResourcePoint
+	Mongrel []ResourcePoint
+}
+
+// Figure6 reproduces the §3.2 small-query workload under both backends.
+func Figure6(seed int64) (*Figure6Result, error) {
+	fcgi, err := labRun(core.StageSmallQuery, websim.BackendFastCGI, seed)
+	if err != nil {
+		return nil, err
+	}
+	mongrel, err := labRun(core.StageSmallQuery, websim.BackendMongrel, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure6Result{FastCGI: fcgi, Mongrel: mongrel}, nil
+}
+
+// Render prints both backends' series.
+func (r *Figure6Result) Render() string {
+	t := newTable(
+		"Figure 6: small query via FastCGI (paper: memory grows ~linearly, response blows up) vs Mongrel (flat <10ms)",
+		"crowd", "fcgi resp (ms)", "fcgi cpu", "fcgi mem (MB)", "mongrel resp (ms)", "mongrel mem (MB)")
+	for i := range r.FastCGI {
+		f := r.FastCGI[i]
+		var m ResourcePoint
+		if i < len(r.Mongrel) {
+			m = r.Mongrel[i]
+		}
+		t.addf("%d|%s|%.2f|%.0f|%s|%.0f", f.Crowd, ms(f.MedianResp), f.CPUUtil, f.MemMB, ms(m.MedianResp), m.MemMB)
+	}
+	return t.String()
+}
+
+// labRun executes one §3.2 lab stage (LAN clients, max 50, full curve) and
+// correlates each epoch with the atop-style monitor window.
+func labRun(stage core.Stage, backend websim.Backend, seed int64) ([]ResourcePoint, error) {
+	env := netsim.NewEnv(seed)
+	srvCfg := websim.LabConfig(backend)
+	site := websim.LabSite()
+	server := websim.NewServer(env, srvCfg, site)
+	mon := websim.NewMonitor(env, server, 100*time.Millisecond)
+
+	specs := core.LANSpecs(env, 55)
+	plat := core.NewSimPlatform(env, server, specs)
+	prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: site},
+		site.Host, site.Base, content.CrawlConfig{})
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Step = 5
+	cfg.MaxCrowd = 50
+	cfg.MinClients = 50
+	cfg.Threshold = time.Hour
+	var sr *core.StageResult
+	env.Go("coordinator", func(p *netsim.Proc) {
+		plat.Bind(p)
+		coord := core.NewCoordinator(plat, cfg, nil)
+		if err := coord.Register(); err != nil {
+			panic(err)
+		}
+		sr = coord.RunStage(stage, prof)
+		mon.Stop()
+	})
+	env.Run(0)
+
+	var out []ResourcePoint
+	for _, e := range sr.Epochs {
+		if e.Kind != core.EpochRamp {
+			continue
+		}
+		w := mon.Window(e.ArriveAt-time.Second, e.ArriveAt+3*time.Second)
+		out = append(out, ResourcePoint{
+			Crowd:      e.Crowd,
+			MedianResp: e.NormMedian,
+			NetKBs:     w.NetBytesPerSec / 1024,
+			CPUUtil:    w.CPUUtil,
+			MemMB:      float64(w.ResidentBytes) / (1 << 20),
+			DiskUtil:   w.DiskUtil,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,183 @@
+package labtarget
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"mfc/internal/content"
+	"mfc/internal/websim"
+)
+
+func testServer(t *testing.T, model websim.SyntheticModel) (*Server, *httptest.Server) {
+	t.Helper()
+	site, err := content.NewSite("lt", "/index.html", []content.Object{
+		{URL: "/index.html", Kind: content.KindText, Size: 1024,
+			Links: []string{"/blob.bin", "/q.cgi?x=1"}},
+		{URL: "/blob.bin", Kind: content.KindBinary, Size: 200_000},
+		{URL: "/q.cgi?x=1", Kind: content.KindQuery, Size: 300, Dynamic: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(site, model)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestServesExactSizes(t *testing.T) {
+	_, ts := testServer(t, nil)
+	resp, err := http.Get(ts.URL + "/blob.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 200_000 {
+		t.Errorf("body = %d bytes, want 200000", n)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != strconv.Itoa(200_000) {
+		t.Errorf("Content-Length = %s", cl)
+	}
+}
+
+func TestHEADReturnsSizeWithoutBody(t *testing.T) {
+	_, ts := testServer(t, nil)
+	resp, err := http.Head(ts.URL + "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.ContentLength != 1024 {
+		t.Errorf("ContentLength = %d, want 1024", resp.ContentLength)
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	if n != 0 {
+		t.Errorf("HEAD body = %d bytes", n)
+	}
+}
+
+func TestQueryURLsServed(t *testing.T) {
+	_, ts := testServer(t, nil)
+	resp, err := http.Get(ts.URL + "/q.cgi?x=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	if n != 300 {
+		t.Errorf("query body = %d bytes, want 300", n)
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	_, ts := testServer(t, nil)
+	resp, err := http.Get(ts.URL + "/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestPagesEmbedLinksForCrawling(t *testing.T) {
+	_, ts := testServer(t, nil)
+	resp, err := http.Get(ts.URL + "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(body) != 1024 {
+		t.Errorf("page body = %d bytes, want 1024", len(body))
+	}
+	s := string(body)
+	if !contains(s, "/blob.bin") || !contains(s, "/q.cgi?x=1") {
+		t.Error("page does not embed its links")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSyntheticModelDelaysUnderConcurrency(t *testing.T) {
+	srv, ts := testServer(t, websim.StepModel{Knee: 1, High: 150 * time.Millisecond})
+	// A single request passes the knee check with pending=1: no delay
+	// beyond the 20ms settle.
+	t0 := time.Now()
+	resp, err := http.Get(ts.URL + "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	solo := time.Since(t0)
+
+	// Two truly concurrent requests exceed the knee: both delayed.
+	t0 = time.Now()
+	done := make(chan time.Duration, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			r, err := http.Get(ts.URL + "/index.html")
+			if err == nil {
+				io.Copy(io.Discard, r.Body)
+				r.Body.Close()
+			}
+			done <- time.Since(t0)
+		}()
+	}
+	var max time.Duration
+	for i := 0; i < 2; i++ {
+		if d := <-done; d > max {
+			max = d
+		}
+	}
+	if max < solo+100*time.Millisecond {
+		t.Errorf("concurrent max %v vs solo %v: step model not applied", max, solo)
+	}
+	if srv.Served() != 3 {
+		t.Errorf("Served = %d, want 3", srv.Served())
+	}
+}
+
+func TestAccessLogAndMetrics(t *testing.T) {
+	srv, ts := testServer(t, nil)
+	srv.EnableAccessLog()
+	http.Get(ts.URL + "/index.html")
+	http.Head(ts.URL + "/blob.bin")
+	log := srv.AccessLog()
+	if len(log) != 2 {
+		t.Fatalf("access log = %d entries, want 2", len(log))
+	}
+	if log[0].URL != "/index.html" || log[1].Method != http.MethodHead {
+		t.Errorf("log = %+v", log)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !contains(string(body), "served") {
+		t.Errorf("metrics = %s", body)
+	}
+}

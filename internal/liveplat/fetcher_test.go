@@ -1,0 +1,104 @@
+package liveplat
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"mfc/internal/content"
+	"mfc/internal/labtarget"
+)
+
+func TestExtractLinks(t *testing.T) {
+	html := `<html><body>
+	<a href="/page1.html">one</a>
+	<a href='/page2.html'>two</a>
+	<img src=/img/x.jpg>
+	<a href="#frag">skip</a>
+	<a href="javascript:void(0)">skip</a>
+	<a href="mailto:x@y">skip</a>
+	<a href="http://other.example/abs.html">keep-abs</a>
+	</body></html>`
+	links := ExtractLinks(html)
+	want := map[string]bool{
+		"/page1.html": true, "/page2.html": true, "/img/x.jpg": true,
+		"http://other.example/abs.html": true,
+	}
+	if len(links) != len(want) {
+		t.Fatalf("links = %v, want %v", links, want)
+	}
+	for _, l := range links {
+		if !want[l] {
+			t.Errorf("unexpected link %q", l)
+		}
+	}
+}
+
+func TestExtractLinksMalformed(t *testing.T) {
+	// Unterminated quotes and attributes at EOF must not panic.
+	for _, s := range []string{
+		`<a href="`, `<a href='x`, `href=`, `src=abc`, "", `<a href=>`,
+	} {
+		_ = ExtractLinks(s) // must not panic
+	}
+}
+
+func TestHTTPFetcherCrawlsLabTarget(t *testing.T) {
+	site := content.Generate("fetchertest", 5, content.GenConfig{
+		Pages: 8, Queries: 4, Binaries: 3, LargeObjects: 1,
+	})
+	target := labtarget.New(site, nil)
+	ts := httptest.NewServer(target)
+	defer ts.Close()
+
+	f, err := NewHTTPFetcher(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := content.Crawl(context.Background(), f, ts.URL, "/index.html",
+		content.CrawlConfig{MaxObjects: 300, MaxDepth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Discovered < 5 {
+		t.Errorf("Discovered = %d, want several", prof.Discovered)
+	}
+	if !prof.HasLargeObject() {
+		t.Error("crawl missed the large object")
+	}
+	if !prof.HasSmallQuery() {
+		t.Error("crawl missed the small queries")
+	}
+}
+
+func TestHTTPFetcherHeadSize(t *testing.T) {
+	site := content.Generate("headtest", 5, content.GenConfig{
+		Pages: 2, Queries: 1, Binaries: 2, LargeObjects: 1,
+	})
+	target := labtarget.New(site, nil)
+	ts := httptest.NewServer(target)
+	defer ts.Close()
+
+	f, err := NewHTTPFetcher(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var largeURL string
+	var largeSize int64
+	for _, o := range site.Objects() {
+		if o.IsLargeObject() {
+			largeURL, largeSize = o.URL, o.Size
+			break
+		}
+	}
+	if largeURL == "" {
+		t.Fatal("generated site has no large object")
+	}
+	size, err := f.Head(context.Background(), largeURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != largeSize {
+		t.Errorf("Head size = %d, want %d", size, largeSize)
+	}
+}

@@ -1,0 +1,67 @@
+// Package liveplat implements core.Platform against real HTTP servers.
+//
+// Two deployments are supported:
+//
+//   - In-process: the crowd is a set of goroutines in this process, each
+//     with its own net/http transport, issuing genuinely concurrent
+//     requests (Go's scheduler gives the synchronized burst the paper gets
+//     from PlanetLab, minus wide-area diversity — fine for lab targets).
+//   - Distributed: remote agents (cmd/mfc-client) driven over the paper's
+//     UDP control protocol (internal/wire), for real wide-area crowds.
+package liveplat
+
+import (
+	"fmt"
+	"net/url"
+	"time"
+
+	"mfc/internal/core"
+)
+
+// WallClock implements core.Clock on real time, measured from construction.
+type WallClock struct{ start time.Time }
+
+// NewWallClock returns a clock anchored at now.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now implements core.Clock.
+func (c *WallClock) Now() time.Duration { return time.Since(c.start) }
+
+// Sleep implements core.Clock.
+func (c *WallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Absolute converts a clock-relative instant to wall time.
+func (c *WallClock) Absolute(at time.Duration) time.Time { return c.start.Add(at) }
+
+// InProcessPlatform drives an in-process goroutine crowd at one target URL.
+type InProcessPlatform struct {
+	clock   *WallClock
+	clients []core.Client
+}
+
+// NewInProcessPlatform builds n goroutine clients aimed at target (an
+// absolute URL whose host part identifies the server; request URLs are
+// resolved against it).
+func NewInProcessPlatform(target string, n int) (*InProcessPlatform, error) {
+	base, err := url.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("liveplat: parsing target %q: %w", target, err)
+	}
+	if base.Scheme == "" || base.Host == "" {
+		return nil, fmt.Errorf("liveplat: target %q must be an absolute URL", target)
+	}
+	clock := NewWallClock()
+	p := &InProcessPlatform{clock: clock}
+	for i := 0; i < n; i++ {
+		p.clients = append(p.clients, newGoClient(fmt.Sprintf("go%03d", i), base, clock))
+	}
+	return p, nil
+}
+
+// Clock implements core.Platform.
+func (p *InProcessPlatform) Clock() core.Clock { return p.clock }
+
+// ActiveClients implements core.Platform.
+func (p *InProcessPlatform) ActiveClients() ([]core.Client, error) {
+	return p.clients, nil
+}

@@ -1,0 +1,285 @@
+// Package netsim is a deterministic discrete-event simulation (DES) kernel
+// plus the network primitives the MFC reproduction is built on: simulated
+// processes with a virtual clock, one-shot events, FIFO resources, and a
+// fluid-flow shared link with max-min fair bandwidth allocation.
+//
+// Execution model (SimPy-style, lock-step): every simulated process is a
+// goroutine, but at most one goroutine — the driver inside Env.Run or exactly
+// one process — executes at any instant. The driver pops the earliest
+// scheduled entry, hands control to the corresponding process, and waits for
+// that process to block (Sleep, Wait, resource queue) or terminate before
+// advancing the clock. Identical seeds therefore produce identical runs.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Env is a simulation environment: a virtual clock and an event calendar.
+// Create one with NewEnv; it is not safe for concurrent use by goroutines
+// outside the simulation (simulated processes interact with it only while
+// they hold the single execution token, which is safe by construction).
+type Env struct {
+	now   time.Duration
+	cal   calendar
+	seq   uint64
+	yield chan struct{}
+	rng   *rand.Rand
+	err   any // panic value recovered from a process
+}
+
+// NewEnv returns an environment whose random source is seeded with seed.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time (time since simulation start).
+func (e *Env) Now() time.Duration { return e.now }
+
+// Rand returns the environment's deterministic random source. Only simulated
+// processes and callbacks may use it.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// entry is one calendar item: a process wakeup, a process start, or a
+// driver callback.
+type entry struct {
+	at       time.Duration
+	seq      uint64
+	proc     *Proc  // non-nil: wake this process…
+	target   uint64 // …if it is blocked in block #target
+	start    bool   // this entry starts proc rather than waking it
+	fn       func() // non-nil: run this callback in driver context
+	canceled bool
+}
+
+type calendar []*entry
+
+func (c calendar) Len() int { return len(c) }
+func (c calendar) Less(i, j int) bool {
+	if c[i].at != c[j].at {
+		return c[i].at < c[j].at
+	}
+	return c[i].seq < c[j].seq
+}
+func (c calendar) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
+func (c *calendar) Push(x any)   { *c = append(*c, x.(*entry)) }
+func (c *calendar) Pop() any {
+	old := *c
+	n := len(old)
+	en := old[n-1]
+	old[n-1] = nil
+	*c = old[:n-1]
+	return en
+}
+
+func (e *Env) push(en *entry) *entry {
+	if en.at < e.now {
+		en.at = e.now
+	}
+	e.seq++
+	en.seq = e.seq
+	heap.Push(&e.cal, en)
+	return en
+}
+
+// wakeEntry schedules a wakeup for p at time `at`, valid only for block
+// generation `target`. The wakeup is delivered only if, when popped, p is
+// still blocked in that same block() call; otherwise it is dropped. This
+// makes racing wakeup sources (event trigger vs. timeout) harmless.
+func (e *Env) wakeEntry(at time.Duration, p *Proc, target uint64) *entry {
+	return e.push(&entry{at: at, proc: p, target: target})
+}
+
+// Timer is a handle to a scheduled callback; Cancel prevents a pending
+// callback from running.
+type Timer struct{ en *entry }
+
+// Cancel marks the timer so its callback will not fire. Canceling an
+// already-fired or already-canceled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.en != nil {
+		t.en.canceled = true
+	}
+}
+
+// After schedules fn to run in driver context at Now()+d. The callback must
+// not block; it may schedule further work, trigger events, and start
+// processes.
+func (e *Env) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return &Timer{en: e.push(&entry{at: e.now + d, fn: fn})}
+}
+
+// Proc is a simulated process. Its methods may only be called from within
+// the process's own function.
+type Proc struct {
+	env        *Env
+	name       string
+	wake       chan struct{}
+	dead       bool
+	blocks     uint64 // number of block() calls entered so far
+	blockedNow bool
+}
+
+// Name returns the label the process was started with.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.env.now }
+
+// Go starts fn as a new simulated process at the current time.
+// It can be called before Run, from another process, or from a callback.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, wake: make(chan struct{})}
+	e.push(&entry{at: e.now, proc: p, start: true})
+	go func() {
+		<-p.wake // wait for the driver to dispatch our start entry
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = fmt.Sprintf("netsim: process %q panicked: %v", p.name, r)
+			}
+			p.dead = true
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	return p
+}
+
+// GoAfter starts fn as a new process after delay d.
+func (e *Env) GoAfter(name string, d time.Duration, fn func(p *Proc)) {
+	e.After(d, func() { e.Go(name, fn) })
+}
+
+// Sleep suspends the process for d of virtual time (d <= 0 yields the
+// execution token and resumes at the same instant, after other work
+// scheduled for this instant).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.push(&entry{at: p.env.now + d, proc: p, target: p.blocks + 1})
+	p.block()
+}
+
+// block yields to the driver and waits to be woken.
+func (p *Proc) block() {
+	p.blocks++
+	p.blockedNow = true
+	p.env.yield <- struct{}{}
+	<-p.wake
+	p.blockedNow = false
+}
+
+// Run drives the simulation until the calendar is exhausted or the virtual
+// clock would pass `until` (use a non-positive until to run to exhaustion).
+// It panics if a simulated process panicked, re-raising the value with
+// context. Run returns the virtual time at which it stopped.
+func (e *Env) Run(until time.Duration) time.Duration {
+	for e.cal.Len() > 0 {
+		en := heap.Pop(&e.cal).(*entry)
+		if en.canceled {
+			continue
+		}
+		if until > 0 && en.at > until {
+			heap.Push(&e.cal, en) // keep it for a later Run
+			e.now = until
+			return e.now
+		}
+		e.now = en.at
+		switch {
+		case en.start:
+			if en.proc.dead {
+				continue
+			}
+			en.proc.wake <- struct{}{}
+			<-e.yield
+		case en.proc != nil:
+			p := en.proc
+			if p.dead || !p.blockedNow || p.blocks != en.target {
+				continue // stale wakeup; drop
+			}
+			p.wake <- struct{}{}
+			<-e.yield
+		case en.fn != nil:
+			en.fn()
+		}
+		if e.err != nil {
+			panic(e.err)
+		}
+	}
+	return e.now
+}
+
+// Event is a one-shot condition processes can wait on. The zero value is
+// unusable; create events with NewEvent.
+type Event struct {
+	env       *Env
+	triggered bool
+	waiters   []evWaiter
+}
+
+// evWaiter pins the waiting process to the block generation in which it
+// registered, so a trigger that fires after the process has moved on (e.g.
+// past a WaitTimeout) cannot disturb its later blocks.
+type evWaiter struct {
+	proc   *Proc
+	target uint64
+}
+
+// NewEvent returns an untriggered event bound to e.
+func (e *Env) NewEvent() *Event { return &Event{env: e} }
+
+// Triggered reports whether the event has fired.
+func (ev *Event) Triggered() bool { return ev.triggered }
+
+// Trigger fires the event, waking all current waiters at the current time in
+// FIFO order. Triggering twice is a no-op. It may be called from a process
+// or a driver callback.
+func (ev *Event) Trigger() {
+	if ev.triggered {
+		return
+	}
+	ev.triggered = true
+	for _, w := range ev.waiters {
+		ev.env.wakeEntry(ev.env.now, w.proc, w.target)
+	}
+	ev.waiters = nil
+}
+
+// Wait suspends p until the event triggers. If the event has already
+// triggered, Wait returns immediately without yielding.
+func (p *Proc) Wait(ev *Event) {
+	if ev.triggered {
+		return
+	}
+	ev.waiters = append(ev.waiters, evWaiter{proc: p, target: p.blocks + 1})
+	p.block()
+}
+
+// WaitTimeout waits for ev for at most d. It reports true if the event
+// triggered while waiting (or had already triggered), false if the timeout
+// elapsed first.
+func (p *Proc) WaitTimeout(ev *Event, d time.Duration) bool {
+	if ev.triggered {
+		return true
+	}
+	// Two racing wakeup sources aim at the same block; the stale one is
+	// dropped by the generation guard in Run.
+	timer := &Timer{en: p.env.push(&entry{at: p.env.now + d, proc: p, target: p.blocks + 1})}
+	ev.waiters = append(ev.waiters, evWaiter{proc: p, target: p.blocks + 1})
+	p.block()
+	timer.Cancel()
+	return ev.triggered
+}

@@ -1,0 +1,255 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Link models a shared transmission link as a fluid-flow system: every
+// active flow receives a max-min fair share of the link capacity, subject to
+// an optional per-flow rate cap (the far end's own access bandwidth). Rates
+// are recomputed on every flow arrival and departure and the next completion
+// event is rescheduled accordingly.
+//
+// This is the standard flow-level abstraction of TCP bandwidth sharing: with
+// N long-lived flows on a C-bit/s link, each receives ≈ C/N. It captures the
+// response-time growth the paper's Large Object stage exploits (Figure 5)
+// without simulating individual packets.
+type Link struct {
+	env      *Env
+	name     string
+	capacity float64 // bytes per second
+	flows    map[*Flow]struct{}
+	lastUpd  time.Duration
+	next     *Timer
+
+	// metrics
+	bytesSent  float64
+	busyTime   time.Duration // time with >= 1 active flow
+	lastBusy   time.Duration
+	flowsDone  uint64
+	maxActive  int
+	rateSeries []RateSample
+	sampling   bool
+}
+
+// RateSample is one point of the link's sampled utilization time series.
+type RateSample struct {
+	At     time.Duration
+	Flows  int
+	InUse  float64 // aggregate allocated rate, bytes/sec
+	Demand float64 // sum of flow caps (∞ caps excluded)
+}
+
+// Flow is one in-flight transfer on a Link.
+type Flow struct {
+	remaining float64 // bytes left
+	cap       float64 // per-flow rate cap (bytes/sec); +Inf if uncapped
+	rate      float64 // currently allocated rate
+	done      *Event
+	started   time.Duration
+}
+
+// NewLink creates a link with capacity in bytes per second.
+func (e *Env) NewLink(name string, bytesPerSec float64) *Link {
+	if bytesPerSec <= 0 {
+		panic(fmt.Sprintf("netsim: link %q capacity %v must be positive", name, bytesPerSec))
+	}
+	return &Link{
+		env:      e,
+		name:     name,
+		capacity: bytesPerSec,
+		flows:    make(map[*Flow]struct{}),
+	}
+}
+
+// Name returns the link's label.
+func (l *Link) Name() string { return l.name }
+
+// Capacity returns the configured capacity in bytes per second.
+func (l *Link) Capacity() float64 { return l.capacity }
+
+// Active returns the number of in-flight flows.
+func (l *Link) Active() int { return len(l.flows) }
+
+// MaxActive returns the peak number of concurrent flows observed.
+func (l *Link) MaxActive() int { return l.maxActive }
+
+// BytesSent returns the total bytes delivered so far.
+func (l *Link) BytesSent() float64 {
+	l.advance()
+	return l.bytesSent
+}
+
+// FlowsCompleted returns the number of completed transfers.
+func (l *Link) FlowsCompleted() uint64 { return l.flowsDone }
+
+// Utilization returns the fraction of time the link had at least one active
+// flow since simulation start.
+func (l *Link) Utilization() float64 {
+	l.advance()
+	if l.env.now == 0 {
+		return 0
+	}
+	return float64(l.busyTime) / float64(l.env.now)
+}
+
+// EnableSampling records a RateSample on every reallocation, for the
+// atop-style monitor. Sampling is off by default to keep memory flat.
+func (l *Link) EnableSampling() { l.sampling = true }
+
+// Samples returns the recorded rate series (nil unless EnableSampling).
+func (l *Link) Samples() []RateSample { return l.rateSeries }
+
+// Transfer moves `bytes` across the link on behalf of p, blocking until the
+// transfer completes. cap limits this flow's rate (<= 0 means uncapped).
+func (l *Link) Transfer(p *Proc, bytes float64, cap float64) {
+	fl := l.start(bytes, cap)
+	p.Wait(fl.done)
+}
+
+// TransferTimeout is Transfer with a deadline. If the deadline passes first
+// the flow is aborted (its partial bytes stay counted) and false is returned.
+func (l *Link) TransferTimeout(p *Proc, bytes, cap float64, d time.Duration) bool {
+	fl := l.start(bytes, cap)
+	if p.WaitTimeout(fl.done, d) {
+		return true
+	}
+	l.abort(fl)
+	return false
+}
+
+// StartFlow begins a transfer without blocking; the returned event triggers
+// on completion. Used by server models that overlap transfer with other work.
+func (l *Link) StartFlow(bytes, cap float64) *Event {
+	return l.start(bytes, cap).done
+}
+
+func (l *Link) start(bytes, cap float64) *Flow {
+	if bytes <= 0 {
+		bytes = 1 // zero-byte responses still occupy an instant
+	}
+	if cap <= 0 {
+		cap = math.Inf(1)
+	}
+	l.advance()
+	fl := &Flow{remaining: bytes, cap: cap, done: l.env.NewEvent(), started: l.env.now}
+	l.flows[fl] = struct{}{}
+	if len(l.flows) > l.maxActive {
+		l.maxActive = len(l.flows)
+	}
+	l.reallocate()
+	return fl
+}
+
+func (l *Link) abort(fl *Flow) {
+	if _, ok := l.flows[fl]; !ok {
+		return
+	}
+	l.advance()
+	delete(l.flows, fl)
+	l.reallocate()
+}
+
+// advance progresses all flows by the elapsed wall of virtual time since the
+// last update, retiring flows that finished exactly now.
+func (l *Link) advance() {
+	now := l.env.now
+	dt := now - l.lastUpd
+	if dt <= 0 {
+		return
+	}
+	if len(l.flows) > 0 {
+		l.busyTime += dt
+	}
+	sec := dt.Seconds()
+	for fl := range l.flows {
+		moved := fl.rate * sec
+		if moved > fl.remaining {
+			moved = fl.remaining
+		}
+		fl.remaining -= moved
+		l.bytesSent += moved
+	}
+	l.lastUpd = now
+}
+
+// reallocate recomputes max-min fair rates with per-flow caps
+// (water-filling) and schedules the next completion callback.
+func (l *Link) reallocate() {
+	if l.next != nil {
+		l.next.Cancel()
+		l.next = nil
+	}
+	if len(l.flows) == 0 {
+		return
+	}
+
+	// Water-filling: ascending by cap; each flow gets min(cap, fair share of
+	// what remains among flows not yet fixed).
+	flows := make([]*Flow, 0, len(l.flows))
+	for fl := range l.flows {
+		flows = append(flows, fl)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i].cap < flows[j].cap })
+	remainingCap := l.capacity
+	n := len(flows)
+	for i, fl := range flows {
+		share := remainingCap / float64(n-i)
+		fl.rate = math.Min(fl.cap, share)
+		remainingCap -= fl.rate
+	}
+
+	if l.sampling {
+		agg, demand := 0.0, 0.0
+		for _, fl := range flows {
+			agg += fl.rate
+			if !math.IsInf(fl.cap, 1) {
+				demand += fl.cap
+			}
+		}
+		l.rateSeries = append(l.rateSeries, RateSample{
+			At: l.env.now, Flows: n, InUse: agg, Demand: demand,
+		})
+	}
+
+	// Earliest completion. Round UP to the nanosecond tick: rounding down
+	// would leave a sliver of bytes at the callback and respawn
+	// zero-duration callbacks forever.
+	first := time.Duration(math.MaxInt64)
+	for _, fl := range flows {
+		if fl.rate <= 0 {
+			continue
+		}
+		t := time.Duration(math.Ceil(fl.remaining / fl.rate * 1e9))
+		if t < time.Nanosecond {
+			t = time.Nanosecond
+		}
+		if t < first {
+			first = t
+		}
+	}
+	if first == time.Duration(math.MaxInt64) {
+		return // all rates zero: stalled until something changes
+	}
+	l.next = l.env.After(first, l.complete)
+}
+
+// complete retires every flow that has (within tolerance) finished, triggers
+// its completion event, and reallocates for the survivors.
+func (l *Link) complete() {
+	l.advance()
+	const eps = 1e-6 // bytes; absorbs float drift
+	for fl := range l.flows {
+		if fl.remaining <= eps {
+			l.bytesSent += fl.remaining
+			fl.remaining = 0
+			delete(l.flows, fl)
+			l.flowsDone++
+			fl.done.Trigger()
+		}
+	}
+	l.reallocate()
+}

@@ -1,0 +1,159 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Resource is a counting semaphore with a FIFO wait queue, used to model
+// serialized or pool-limited server components (worker threads, database
+// connection pools, a single disk arm).
+type Resource struct {
+	env      *Env
+	name     string
+	capacity int
+	inUse    int
+	queue    []*waiter // FIFO
+
+	// metrics
+	acquired   uint64
+	maxQueue   int
+	busyTime   time.Duration
+	lastChange time.Duration
+}
+
+type waiter struct {
+	ev       *Event
+	canceled bool
+}
+
+// NewResource returns a resource with the given concurrency capacity.
+// Capacity must be positive.
+func (e *Env) NewResource(name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("netsim: resource %q capacity %d must be positive", name, capacity))
+	}
+	return &Resource{env: e, name: name, capacity: capacity}
+}
+
+// Name returns the resource's label.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the configured concurrency limit.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting.
+func (r *Resource) QueueLen() int {
+	n := 0
+	for _, w := range r.queue {
+		if !w.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxQueueLen returns the largest wait-queue length observed.
+func (r *Resource) MaxQueueLen() int { return r.maxQueue }
+
+// Acquired returns the total number of successful acquisitions.
+func (r *Resource) Acquired() uint64 { return r.acquired }
+
+// BusyTime returns the accumulated unit-busy time (unit-seconds as a
+// Duration): integrating InUse over time. With capacity 1 this is simply
+// how long the resource has been held.
+func (r *Resource) BusyTime() time.Duration {
+	r.accrue()
+	return r.busyTime
+}
+
+// Utilization returns the time-averaged fraction of capacity held between
+// simulation start and now.
+func (r *Resource) Utilization() float64 {
+	r.accrue()
+	if r.env.now == 0 {
+		return 0
+	}
+	return float64(r.busyTime) / (float64(r.env.now) * float64(r.capacity))
+}
+
+func (r *Resource) accrue() {
+	dt := r.env.now - r.lastChange
+	r.busyTime += time.Duration(float64(dt) * float64(r.inUse))
+	r.lastChange = r.env.now
+}
+
+// Acquire blocks p until a unit is available, then takes it.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.queue) == 0 {
+		r.take()
+		return
+	}
+	w := &waiter{ev: r.env.NewEvent()}
+	r.queue = append(r.queue, w)
+	if q := r.QueueLen(); q > r.maxQueue {
+		r.maxQueue = q
+	}
+	p.Wait(w.ev)
+	// The releaser transferred the unit to us (take() already ran).
+}
+
+// TryAcquire takes a unit if one is free right now, reporting success.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.capacity && len(r.queue) == 0 {
+		r.take()
+		return true
+	}
+	return false
+}
+
+// AcquireTimeout blocks p until a unit is available or d elapses. It reports
+// whether the unit was acquired.
+func (r *Resource) AcquireTimeout(p *Proc, d time.Duration) bool {
+	if r.inUse < r.capacity && len(r.queue) == 0 {
+		r.take()
+		return true
+	}
+	w := &waiter{ev: r.env.NewEvent()}
+	r.queue = append(r.queue, w)
+	if q := r.QueueLen(); q > r.maxQueue {
+		r.maxQueue = q
+	}
+	if p.WaitTimeout(w.ev, d) {
+		return true
+	}
+	// Timed out: mark the waiter canceled so a future release skips it.
+	w.canceled = true
+	return false
+}
+
+func (r *Resource) take() {
+	r.accrue()
+	r.inUse++
+	r.acquired++
+}
+
+// Release returns a unit; if processes are queued the unit transfers to the
+// oldest live waiter immediately (at the current instant).
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic(fmt.Sprintf("netsim: release of idle resource %q", r.name))
+	}
+	r.accrue()
+	r.inUse--
+	for len(r.queue) > 0 {
+		w := r.queue[0]
+		r.queue = r.queue[1:]
+		if w.canceled {
+			continue
+		}
+		// Hand the unit straight to the waiter: counts as taken now so
+		// a racing TryAcquire cannot steal it.
+		r.take()
+		w.ev.Trigger()
+		return
+	}
+}

@@ -1,0 +1,130 @@
+package population
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Rank1M, 20, 7)
+	b := Generate(Rank1M, 20, 7)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Config.ParseCPU != b[i].Config.ParseCPU ||
+			a[i].Config.AccessBandwidth != b[i].Config.AccessBandwidth ||
+			a[i].Site.Len() != b[i].Site.Len() {
+			t.Fatalf("sample %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	for _, band := range []Band{Rank1K, Rank10K, Rank100K, Rank1M, Startup, Phishing} {
+		got := Generate(band, 13, 1)
+		if len(got) != 13 {
+			t.Errorf("%v: %d samples, want 13", band, len(got))
+		}
+		for _, s := range got {
+			if s.Site == nil || s.Site.Len() == 0 {
+				t.Errorf("%v: empty site", band)
+			}
+			if s.Config.AccessBandwidth <= 0 {
+				t.Errorf("%v: no bandwidth", band)
+			}
+		}
+	}
+}
+
+// Property: weight tables are proper distributions.
+func TestWeightsSumToOneProperty(t *testing.T) {
+	f := func(b uint8) bool {
+		band := Band(int(b) % 6)
+		for _, w := range [][5]float64{computeWeights(band), bandwidthWeights(band)} {
+			sum := 0.0
+			for _, p := range w {
+				if p < 0 {
+					return false
+				}
+				sum += p
+			}
+			if sum < 0.999 || sum > 1.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Rank-correlated provisioning: the top band's mean parse cost must be
+// clearly lower than the bottom band's (the Figure 7/8 driver).
+func TestRankCorrelation(t *testing.T) {
+	mean := func(b Band) float64 {
+		samples := Generate(b, 200, 3)
+		tot := 0.0
+		for _, s := range samples {
+			tot += s.Config.ParseCPU.Seconds()
+		}
+		return tot / float64(len(samples))
+	}
+	top, bottom := mean(Rank1K), mean(Rank1M)
+	if bottom < top*1.5 {
+		t.Errorf("parse cost top=%v bottom=%v: insufficient rank correlation", top, bottom)
+	}
+}
+
+// Bandwidth must be much less rank-correlated than processing (Figure 9's
+// finding): the top/bottom ratio for bandwidth stays well under the
+// processing ratio.
+func TestBandwidthWeaklyCorrelated(t *testing.T) {
+	meanBW := func(b Band) float64 {
+		samples := Generate(b, 300, 3)
+		tot := 0.0
+		for _, s := range samples {
+			tot += s.Config.AccessBandwidth * float64(max(1, s.Config.Replicas))
+		}
+		return tot / float64(len(samples))
+	}
+	meanCPU := func(b Band) float64 {
+		samples := Generate(b, 300, 3)
+		tot := 0.0
+		for _, s := range samples {
+			tot += s.Config.ParseCPU.Seconds()
+		}
+		return tot / float64(len(samples))
+	}
+	bwRatio := meanBW(Rank1K) / meanBW(Rank1M)
+	cpuRatio := meanCPU(Rank1M) / meanCPU(Rank1K)
+	if bwRatio >= cpuRatio {
+		t.Errorf("bandwidth ratio %.2f not weaker than processing ratio %.2f", bwRatio, cpuRatio)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestBandString(t *testing.T) {
+	for b, want := range map[Band]string{
+		Rank1K: "rank-1-1K", Rank1M: "rank-100K-1M", Startup: "startup", Phishing: "phishing",
+	} {
+		if b.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(b), b.String(), want)
+		}
+	}
+}
+
+func TestPhishingSitesAreSmall(t *testing.T) {
+	for _, s := range Generate(Phishing, 10, 2) {
+		if s.Site.Len() > 60 {
+			t.Errorf("phishing site with %d objects; expected a handful", s.Site.Len())
+		}
+	}
+}

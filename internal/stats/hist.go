@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram counts samples into half-open bins [edge[i], edge[i+1]).
+// Samples below the first edge land in an implicit underflow bucket and
+// samples at or above the last edge in an overflow bucket.
+type Histogram struct {
+	edges     []float64
+	counts    []int
+	underflow int
+	overflow  int
+	total     int
+}
+
+// NewHistogram builds a histogram from ascending bin edges.
+// At least two edges are required (one bin).
+func NewHistogram(edges []float64) (*Histogram, error) {
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("stats: histogram needs >= 2 edges, got %d", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("stats: histogram edges not ascending at %d", i)
+		}
+	}
+	e := make([]float64, len(edges))
+	copy(e, edges)
+	return &Histogram{edges: e, counts: make([]int, len(edges)-1)}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	if x < h.edges[0] {
+		h.underflow++
+		return
+	}
+	if x >= h.edges[len(h.edges)-1] {
+		h.overflow++
+		return
+	}
+	// Binary search for the bin: the first edge greater than x, minus one.
+	i := sort.SearchFloat64s(h.edges, x)
+	if i < len(h.edges) && h.edges[i] == x {
+		// x sits exactly on edge i: belongs to bin i.
+		h.counts[i]++
+		return
+	}
+	h.counts[i-1]++
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Count returns the count of bin i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Total returns the number of samples added, including under/overflow.
+func (h *Histogram) Total() int { return h.total }
+
+// Underflow and Overflow return the out-of-range counts.
+func (h *Histogram) Underflow() int { return h.underflow }
+func (h *Histogram) Overflow() int  { return h.overflow }
+
+// Fraction returns bin i's share of all added samples (0 if empty).
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[i]) / float64(h.total)
+}
+
+// String renders a compact one-line description, useful in logs and tests.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hist[n=%d", h.total)
+	for i := range h.counts {
+		fmt.Fprintf(&b, " [%g,%g):%d", h.edges[i], h.edges[i+1], h.counts[i])
+	}
+	if h.underflow > 0 {
+		fmt.Fprintf(&b, " uf:%d", h.underflow)
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, " of:%d", h.overflow)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// CDF is an empirical cumulative distribution function over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF copies and sorts xs.
+func NewCDF(xs []float64) *CDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// At returns P[X <= x].
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// Index of first element > x.
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Inverse returns the q-quantile of the sample (0 on empty).
+func (c *CDF) Inverse(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	v, err := QuantileSorted(c.sorted, q)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// N returns the sample size.
+func (c *CDF) N() int { return len(c.sorted) }

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 5, 10, 15, 29.9, 30, 100} {
+		h.Add(x)
+	}
+	if h.Underflow() != 1 {
+		t.Errorf("underflow = %d, want 1", h.Underflow())
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("overflow = %d, want 2 (30 is >= last edge)", h.Overflow())
+	}
+	if h.Count(0) != 2 { // 0, 5
+		t.Errorf("bin0 = %d, want 2", h.Count(0))
+	}
+	if h.Count(1) != 2 { // 10, 15
+		t.Errorf("bin1 = %d, want 2", h.Count(1))
+	}
+	if h.Count(2) != 1 { // 29.9
+		t.Errorf("bin2 = %d, want 1", h.Count(2))
+	}
+	if h.Total() != 8 {
+		t.Errorf("total = %d, want 8", h.Total())
+	}
+	if h.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestHistogramEdgeValidation(t *testing.T) {
+	if _, err := NewHistogram([]float64{1}); err == nil {
+		t.Error("single edge accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Error("non-ascending edges accepted")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Error("descending edges accepted")
+	}
+}
+
+// Property: counts (+under/overflow) always sum to Total.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := NewHistogram([]float64{-50, 0, 50, 100})
+		if err != nil {
+			return false
+		}
+		n := rng.Intn(500)
+		for i := 0; i < n; i++ {
+			h.Add(rng.NormFloat64() * 80)
+		}
+		sum := h.Underflow() + h.Overflow()
+		for i := 0; i < h.Bins(); i++ {
+			sum += h.Count(i)
+		}
+		return sum == h.Total() && h.Total() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {9, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); !almostEq(got, tc.want) {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if c.N() != 4 {
+		t.Errorf("N = %d", c.N())
+	}
+	if v := c.Inverse(0.5); !almostEq(v, 2.5) {
+		t.Errorf("Inverse(0.5) = %v, want 2.5", v)
+	}
+	empty := NewCDF(nil)
+	if empty.At(1) != 0 || empty.Inverse(0.5) != 0 {
+		t.Error("empty CDF should return zeros")
+	}
+}

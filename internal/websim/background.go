@@ -1,0 +1,192 @@
+package websim
+
+import (
+	"math"
+	"time"
+
+	"mfc/internal/netsim"
+)
+
+// BackgroundConfig describes the regular (non-MFC) request workload a
+// production server carries during an experiment (§4 reports 0.15–20.3
+// requests/sec at the cooperating sites).
+type BackgroundConfig struct {
+	// Rate is the Poisson arrival rate in requests per second.
+	Rate float64
+	// ClientRTT/ClientBW describe typical background visitors.
+	ClientRTT time.Duration // default 60ms
+	ClientBW  float64       // default 500 KB/s
+	// QueryFraction is the share of background requests hitting dynamic
+	// URLs (default 0.2).
+	QueryFraction float64
+	// Timeout is the per-request budget (default 10s).
+	Timeout time.Duration
+	// BurstSize and BurstEvery model transient load spikes: every
+	// ~BurstEvery (exponential), BurstSize extra requests arrive within
+	// about a second. Bursts are the "stochastic effects" the coordinator's
+	// check phase exists to discount (§2.2.3): an epoch colliding with a
+	// burst sees a response-time jump that does not reproduce.
+	BurstSize  int
+	BurstEvery time.Duration
+}
+
+func (c BackgroundConfig) withDefaults() BackgroundConfig {
+	if c.ClientRTT <= 0 {
+		c.ClientRTT = 60 * time.Millisecond
+	}
+	if c.ClientBW <= 0 {
+		c.ClientBW = 500e3
+	}
+	if c.QueryFraction < 0 || c.QueryFraction > 1 {
+		c.QueryFraction = 0.2
+	} else if c.QueryFraction == 0 {
+		c.QueryFraction = 0.2
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	return c
+}
+
+// BackgroundTraffic generates Poisson request arrivals against srv until
+// stopped. Requests pick uniformly among the site's static objects (pages
+// and images) or, with QueryFraction probability, its dynamic ones.
+type BackgroundTraffic struct {
+	cfg     BackgroundConfig
+	srv     *Server
+	stopped bool
+
+	sent      uint64
+	completed uint64
+	errored   uint64
+}
+
+// StartBackground launches the generator as a simulated process. With a
+// non-positive rate it is inert (returns immediately on start).
+func StartBackground(env *netsim.Env, srv *Server, cfg BackgroundConfig) *BackgroundTraffic {
+	bt := &BackgroundTraffic{cfg: cfg.withDefaults(), srv: srv}
+	if cfg.Rate > 0 {
+		env.Go("bg/"+srv.cfg.Name, bt.run)
+	}
+	if cfg.BurstSize > 0 && cfg.BurstEvery > 0 {
+		env.Go("bg-burst/"+srv.cfg.Name, bt.runBursts)
+	}
+	return bt
+}
+
+// runBursts injects occasional request spikes.
+func (bt *BackgroundTraffic) runBursts(p *netsim.Proc) {
+	env := p.Env()
+	urls := bt.staticURLs()
+	if len(urls) == 0 {
+		return
+	}
+	for !bt.stopped {
+		gap := time.Duration(env.Rand().ExpFloat64() * float64(bt.cfg.BurstEvery))
+		if gap > 10*bt.cfg.BurstEvery {
+			gap = 10 * bt.cfg.BurstEvery
+		}
+		p.Sleep(gap)
+		if bt.stopped {
+			return
+		}
+		for i := 0; i < bt.cfg.BurstSize; i++ {
+			offset := time.Duration(env.Rand().Float64() * 200 * float64(time.Millisecond))
+			url := urls[env.Rand().Intn(len(urls))]
+			req := Request{
+				Method:    "GET",
+				URL:       url,
+				ClientRTT: bt.cfg.ClientRTT,
+				ClientBW:  bt.cfg.ClientBW,
+				Deadline:  env.Now() + offset + bt.cfg.Timeout,
+			}
+			env.GoAfter("bg-burst-req", offset, func(q *netsim.Proc) {
+				bt.sent++
+				resp := bt.srv.Serve(q, "bg", req)
+				if resp.Err != nil {
+					bt.errored++
+				} else {
+					bt.completed++
+				}
+			})
+		}
+	}
+}
+
+// staticURLs lists the site's burst-eligible objects.
+func (bt *BackgroundTraffic) staticURLs() []string {
+	var out []string
+	for _, o := range bt.srv.site.Objects() {
+		if !o.Dynamic && o.Size < 256*1024 {
+			out = append(out, o.URL)
+		}
+	}
+	return out
+}
+
+// Stop ends the arrival process after the next arrival tick.
+func (bt *BackgroundTraffic) Stop() { bt.stopped = true }
+
+// Sent, Completed, Errored return workload counters.
+func (bt *BackgroundTraffic) Sent() uint64      { return bt.sent }
+func (bt *BackgroundTraffic) Completed() uint64 { return bt.completed }
+func (bt *BackgroundTraffic) Errored() uint64   { return bt.errored }
+
+func (bt *BackgroundTraffic) run(p *netsim.Proc) {
+	env := p.Env()
+	// Partition the site once.
+	var static, dynamic []string
+	for _, o := range bt.srv.site.Objects() {
+		if o.Dynamic {
+			dynamic = append(dynamic, o.URL)
+		} else if o.Size < 256*1024 { // background visitors rarely pull blobs
+			static = append(static, o.URL)
+		}
+	}
+	if len(static) == 0 && len(dynamic) == 0 {
+		return
+	}
+	for !bt.stopped {
+		// Exponential inter-arrival for a Poisson process.
+		gap := time.Duration(env.Rand().ExpFloat64() / bt.cfg.Rate * float64(time.Second))
+		if gap > time.Minute {
+			gap = time.Minute
+		}
+		p.Sleep(gap)
+		if bt.stopped {
+			return
+		}
+		url := ""
+		if len(dynamic) > 0 && (len(static) == 0 || env.Rand().Float64() < bt.cfg.QueryFraction) {
+			url = dynamic[env.Rand().Intn(len(dynamic))]
+		} else {
+			url = static[env.Rand().Intn(len(static))]
+		}
+		bt.sent++
+		// Jitter visitor RTT ±40% around the configured typical value.
+		rtt := time.Duration(float64(bt.cfg.ClientRTT) * (0.6 + 0.8*env.Rand().Float64()))
+		req := Request{
+			Method:    "GET",
+			URL:       url,
+			ClientRTT: rtt,
+			ClientBW:  bt.cfg.ClientBW * (0.5 + env.Rand().Float64()),
+			Deadline:  env.Now() + bt.cfg.Timeout,
+		}
+		env.Go("bg-req", func(q *netsim.Proc) {
+			resp := bt.srv.Serve(q, "bg", req)
+			if resp.Err != nil {
+				bt.errored++
+			} else {
+				bt.completed++
+			}
+		})
+	}
+}
+
+// PoissonRate is a helper converting a mean inter-arrival time to a rate.
+func PoissonRate(meanGap time.Duration) float64 {
+	if meanGap <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / meanGap.Seconds()
+}

@@ -1,0 +1,77 @@
+package websim
+
+import (
+	"testing"
+	"time"
+
+	"mfc/internal/netsim"
+)
+
+func TestFlashCrowdRampsAndRecords(t *testing.T) {
+	env := netsim.NewEnv(3)
+	srv := NewServer(env, Config{
+		Cores: 1, ParseCPU: 5 * time.Millisecond, Workers: 256, Backlog: 256,
+		AccessBandwidth: 125e6,
+	}, bgSite(t))
+	fc := RunFlashCrowd(env, srv, FlashCrowdConfig{
+		URL: srv.Site().Base, Method: "HEAD",
+		PeakRate: 300, RampUp: 30 * time.Second, Hold: 10 * time.Second,
+	})
+	env.Run(0)
+	if len(fc.Samples) < 1000 {
+		t.Fatalf("samples = %d, want thousands", len(fc.Samples))
+	}
+	if fc.BaseResp <= 0 {
+		t.Error("no baseline recorded")
+	}
+	// Concurrency must actually ramp: early samples low, late samples high.
+	early, late := 0, 0
+	for _, s := range fc.Samples {
+		if s.At < 10*time.Second && s.Concurrent > early {
+			early = s.Concurrent
+		}
+		if s.At > 30*time.Second && s.Concurrent > late {
+			late = s.Concurrent
+		}
+	}
+	if late <= early {
+		t.Errorf("concurrency did not ramp: early peak %d, late peak %d", early, late)
+	}
+	// 300 r/s of 5ms work on one core saturates (demand 1.5 cores):
+	// the degradation point must be found.
+	if dp := fc.DegradationPoint(100*time.Millisecond, 5); dp == 0 {
+		t.Error("no degradation point on a saturated single core")
+	}
+}
+
+func TestFlashCrowdUnderloadedNoDegradation(t *testing.T) {
+	env := netsim.NewEnv(3)
+	srv := NewServer(env, Config{
+		Cores: 16, ParseCPU: 100 * time.Microsecond, Workers: 4096, Backlog: 4096,
+		AccessBandwidth: 1.25e9,
+	}, bgSite(t))
+	fc := RunFlashCrowd(env, srv, FlashCrowdConfig{
+		URL: srv.Site().Base, Method: "HEAD",
+		PeakRate: 200, RampUp: 20 * time.Second, Hold: 5 * time.Second,
+	})
+	env.Run(0)
+	if dp := fc.DegradationPoint(100*time.Millisecond, 5); dp != 0 {
+		t.Errorf("degradation point %d on a massively overprovisioned box", dp)
+	}
+}
+
+func TestDegradationPointTreatsErrorsAsDegradation(t *testing.T) {
+	r := &FlashCrowdResult{BaseResp: time.Millisecond}
+	// Low-concurrency samples fine; high-concurrency all refused (fast
+	// errors): the error storm must register as degradation.
+	for i := 0; i < 50; i++ {
+		r.Samples = append(r.Samples, FlashSample{Concurrent: 3, Resp: 2 * time.Millisecond})
+	}
+	for i := 0; i < 50; i++ {
+		r.Samples = append(r.Samples, FlashSample{Concurrent: 40, Resp: time.Millisecond, Err: true})
+	}
+	dp := r.DegradationPoint(100*time.Millisecond, 5)
+	if dp < 35 || dp > 45 {
+		t.Errorf("degradation point = %d, want ~40 (the refused bucket)", dp)
+	}
+}

@@ -1,0 +1,214 @@
+package websim
+
+import (
+	"time"
+
+	"mfc/internal/content"
+)
+
+// Presets model the concrete installations the paper measured. Absolute
+// numbers are calibrated so each preset reproduces the paper's qualitative
+// outcome (which stage stops, at roughly which crowd size) — see
+// EXPERIMENTS.md for the paper-vs-measured record.
+
+// ValidationConfig is the §3.1 validation server: a lightweight HTTP server
+// on a well-connected lab machine whose response time is entirely governed
+// by a synthetic model.
+func ValidationConfig(model SyntheticModel) Config {
+	return Config{
+		Name:            "validation",
+		AccessBandwidth: 125e6, // campus gigabit
+		Workers:         1024,
+		Backlog:         1024,
+		Cores:           2,
+		ParseCPU:        50 * time.Microsecond,
+		Synthetic:       model,
+	}
+}
+
+// ValidationSite is the near-empty content tree of the validation server.
+func ValidationSite() *content.Site {
+	site, err := content.NewSite("validation.lab", "/index.html", []content.Object{
+		{URL: "/index.html", Kind: content.KindText, Size: 2 * 1024,
+			Links: []string{"/obj100k.bin"}},
+		{URL: "/obj100k.bin", Kind: content.KindBinary, Size: 100 * 1024},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return site
+}
+
+// LabConfig is the §3.2 lab target: Apache 2.2 (worker MPM) on a 3 GHz
+// Pentium-4 with 1 GB RAM, clients on the same LAN. The backend parameter
+// selects the dynamic-request interface (Figure 6 contrasts FastCGI's
+// fork-memory blow-up against Mongrel's flat profile).
+func LabConfig(backend Backend) Config {
+	return Config{
+		Name:            "lab-apache",
+		AccessBandwidth: 12.5e6, // 100 Mbit LAN: the Figure 5 bottleneck
+		Workers:         256,
+		Backlog:         256,
+		Cores:           1, // single P4
+		ParseCPU:        150 * time.Microsecond,
+		RenderCPU:       100 * time.Microsecond,
+		DiskBandwidth:   40e6,
+		DiskSeek:        6 * time.Millisecond,
+		DBConns:         64,
+		QueryCPU:        20 * time.Millisecond, // 50000-row aggregate, local MySQL
+		QueryCacheBytes: 16 << 20,              // the paper's MySQL query cache
+		Backend:         backend,
+		ForkCPU:         5 * time.Millisecond,
+		RAMBytes:        1 << 30,
+		BaseMemBytes:    150 << 20,
+		PerRequestMem:   25 << 20, // forked FastCGI parent image
+		SwapPenalty:     24,       // thrash hard once the fork images exceed RAM
+	}
+}
+
+// LabSite hosts the two §3.2 workload objects: the 100 KB large object and
+// the aggregate query whose response is under 100 B.
+func LabSite() *content.Site {
+	site, err := content.NewSite("lab.local", "/index.html", []content.Object{
+		{URL: "/index.html", Kind: content.KindText, Size: 4 * 1024,
+			Links: []string{"/large100k.bin", "/query.cgi?stats=1"}},
+		{URL: "/large100k.bin", Kind: content.KindBinary, Size: 100 * 1024},
+		{URL: "/query.cgi?stats=1", Kind: content.KindQuery, Size: 100, Dynamic: true},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return site
+}
+
+// QTNPConfig is the top-50 commercial site's non-production twin (§4.1):
+// identical content, minimal traffic, a known contention point in the small
+// query path. Calibrated so Base stops ≈20–25 (θ=100ms), Small Query ≈45–55,
+// and Large Object never stops even at 150 concurrent requests.
+func QTNPConfig() Config {
+	return Config{
+		Name:             "qtnp",
+		AccessBandwidth:  1.25e9, // 10 Gbit data-center pipe: Large Object never stops
+		Workers:          512,
+		Backlog:          512,
+		Cores:            2,
+		ParseCPU:         time.Millisecond,
+		BaseExtraCPU:     10 * time.Millisecond, // surprisingly heavy base-page path (operators surprised)
+		DBConns:          4,                     // the known contention point: one of the backend servers
+		QueryBackendTime: 16 * time.Millisecond,
+		QueryCPU:         time.Millisecond,
+		QueryCacheBytes:  0, // unique queries / uncachable backend work
+		Backend:          BackendMongrel,
+		RAMBytes:         4 << 30,
+	}
+}
+
+// QTPConfig is the production system: the same per-server hardware as QTNP
+// but 16 multiprocessor servers in a load-balanced configuration behind one
+// IP. The paper saw no degradation at all, not even 10ms, at 375 parallel
+// requests.
+func QTPConfig() Config {
+	c := QTNPConfig()
+	c.Name = "qtp"
+	c.Cores = 8
+	c.ParseCPU = time.Millisecond
+	c.BaseExtraCPU = 2 * time.Millisecond
+	c.DBConns = 32
+	c.QueryBackendTime = 8 * time.Millisecond
+	c.Replicas = 16
+	return c
+}
+
+// QTSite is the commercial site's content: a large database-backed site.
+func QTSite(seed int64) *content.Site {
+	return content.Generate("qt.example.com", seed, content.GenConfig{
+		Pages: 60, Queries: 400, Binaries: 8, LargeObjects: 4,
+	})
+}
+
+// Univ1Config is the European research-group server (§4.2): a small host
+// not provisioned for volume. Base and Small Query degrade with as few as 5
+// synchronized clients; the 100 Mbit link is its relatively strongest part
+// (Large Object stops at 25).
+func Univ1Config() Config {
+	return Config{
+		Name:             "univ1",
+		AccessBandwidth:  25e6, // 200 Mbit: its relatively strongest part
+		Workers:          64,
+		Backlog:          64,
+		Cores:            1,
+		ParseCPU:         30 * time.Millisecond, // old hardware, per-request accounting
+		DBConns:          1,
+		QueryBackendTime: 45 * time.Millisecond, // wiki-style CGI, serialized
+		QueryCPU:         5 * time.Millisecond,
+		QueryCacheBytes:  0,
+		RAMBytes:         512 << 20,
+	}
+}
+
+// Univ1Site is a small research-group site.
+func Univ1Site(seed int64) *content.Site {
+	return content.Generate("univ1.example.eu", seed, content.GenConfig{
+		Pages: 15, Queries: 10, Binaries: 4, LargeObjects: 2,
+		MaxLargeObjectSize: 128 * 1024, // tech reports, not videos
+	})
+}
+
+// Univ2Config is the US CS-department server (§4.2): Apache 2 behind a
+// 1 Gbps link, hardware strong, but a years-old software configuration
+// caps useful concurrency near 128 — the paper's experiments stopped at
+// crowd sizes 110–150 across *all* stages (MFC-mr doubles requests, so the
+// crossover sits near Workers/2 ≈ 64–75 clients ≈ 130 when only some
+// requests linger).
+func Univ2Config() Config {
+	return Config{
+		Name:             "univ2",
+		AccessBandwidth:  125e6, // 1 Gbps
+		Workers:          64,    // thread cap from a config untouched for years
+		Backlog:          512,
+		Cores:            4,
+		ParseCPU:         1500 * time.Microsecond,
+		DBConns:          16,
+		QueryBackendTime: 6 * time.Millisecond,
+		QueryCacheBytes:  8 << 20,
+		WorkerHold:       300 * time.Millisecond, // lingering close / keepalive drain
+		RAMBytes:         4 << 30,
+	}
+}
+
+// Univ2Site is a department site with plenty of static and query content.
+func Univ2Site(seed int64) *content.Site {
+	return content.Generate("univ2.example.edu", seed, content.GenConfig{
+		Pages: 80, Queries: 120, Binaries: 10, LargeObjects: 5,
+		MaxLargeObjectSize: 200 * 1024,
+	})
+}
+
+// Univ3Config is the second US CS department (§4.2): a 1.5 GHz Sun V240.
+// Base processing is adequate and the 1 Gbps link never stops, but the
+// query path is poor — a legacy setup that does not cache responses — so
+// Small Query stops with just ~30 simultaneous requests.
+func Univ3Config() Config {
+	return Config{
+		Name:             "univ3",
+		AccessBandwidth:  125e6,
+		Workers:          512,
+		Backlog:          512,
+		Cores:            2,
+		ParseCPU:         4200 * time.Microsecond, // 1.5 GHz UltraSPARC
+		DBConns:          2,                       // legacy serialized query handling
+		QueryBackendTime: 38 * time.Millisecond,
+		QueryCacheBytes:  0, // "not caching responses appropriately"
+		RAMBytes:         2 << 30,
+	}
+}
+
+// Univ3Site is the department site; its large objects sit at the small end
+// of the Large Object band (popular lecture videos were the incident the
+// operators recalled).
+func Univ3Site(seed int64) *content.Site {
+	return content.Generate("univ3.example.edu", seed, content.GenConfig{
+		Pages: 70, Queries: 60, Binaries: 8, LargeObjects: 4,
+		MaxLargeObjectSize: 200 * 1024,
+	})
+}

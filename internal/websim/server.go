@@ -1,0 +1,599 @@
+// Package websim models a web-server installation at the sub-system
+// granularity the paper reasons about: access-link bandwidth, a bounded
+// worker pool (threads), CPU (processor sharing), a serialized disk, a
+// back-end database with a connection pool and query cache, and a
+// FastCGI-style per-request memory model with swap thrashing.
+//
+// The model is deliberately a fluid/queueing abstraction rather than a
+// packet simulator: the MFC technique only observes end-to-end response
+// times, and the paper's findings are about which sub-system saturates
+// first as the synchronized crowd grows. Each sub-system here exposes the
+// same saturation mechanism the paper attributes to it:
+//
+//   - Large Object stage  -> shared outbound link: per-flow fair share
+//     shrinks as 1/N (Figure 5).
+//   - Small Query stage   -> DB pool serialization + query CPU; with the
+//     FastCGI fork-memory model, resident memory grows linearly in the
+//     crowd and service times blow up once RAM is exhausted (Figure 6).
+//   - Base stage          -> worker pool and parse CPU.
+package websim
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"mfc/internal/content"
+	"mfc/internal/netsim"
+)
+
+// Backend selects the dynamic-request software interface (§3.2).
+type Backend int
+
+const (
+	// BackendMongrel models a lightweight threaded module: constant memory,
+	// requests queue on the DB pool only.
+	BackendMongrel Backend = iota
+	// BackendFastCGI models the fork-per-request interface the paper found
+	// pathological: every in-flight dynamic request holds a copy of the
+	// parent process image, so resident memory grows with concurrency and
+	// the server thrashes once RAM is exhausted.
+	BackendFastCGI
+)
+
+func (b Backend) String() string {
+	if b == BackendFastCGI {
+		return "fastcgi"
+	}
+	return "mongrel"
+}
+
+// Config describes one server installation. NewServer applies defaults for
+// zero fields (documented per field).
+type Config struct {
+	Name string
+
+	// AccessBandwidth is the outbound link capacity in bytes/sec
+	// (default 12.5 MB/s ~ 100 Mbit).
+	AccessBandwidth float64
+
+	// Workers is the maximum number of concurrently handled requests per
+	// replica, e.g. Apache worker MPM MaxClients (default 256).
+	Workers int
+	// Backlog is the accept queue beyond busy workers (default 128).
+	// A request arriving with all workers busy and the backlog full is
+	// refused (client sees an error).
+	Backlog int
+
+	// Cores is the CPU capacity per replica (default 2).
+	Cores float64
+	// ParseCPU is the CPU demand of basic HTTP handling per request
+	// (default 1ms). The Base stage exercises exactly this.
+	ParseCPU time.Duration
+	// BaseExtraCPU is additional CPU demand for requests of the base page
+	// only (authentication, personalization, redirects). It lets a model
+	// reproduce sites whose HEAD-of-base-page path is heavier than generic
+	// request parsing — QTNP's Base stage degraded at only 20-25 requests,
+	// to the operators' surprise, while its query path held to 45-55.
+	BaseExtraCPU time.Duration
+	// RenderCPU is the CPU demand for assembling a response (default 200µs).
+	RenderCPU time.Duration
+
+	// DiskSeek is the positioning cost per uncached static read
+	// (default 6ms); DiskBandwidth is the sequential rate (default 40 MB/s).
+	DiskSeek      time.Duration
+	DiskBandwidth float64
+	// FileCacheBytes is the static-object cache capacity (default 64 MB).
+	FileCacheBytes int64
+
+	// DBConns is the connection-pool size per replica (default 16).
+	DBConns int
+	// QueryCPU is the CPU demand per uncached query on the web server's own
+	// CPU (default 20ms — the paper's 50000-row aggregate executed locally).
+	QueryCPU time.Duration
+	// QueryBackendTime is wall time per uncached query spent on a separate
+	// back-end database machine while holding a pool connection (0 = query
+	// runs locally on QueryCPU only). Production sites where "the Small
+	// Query involves processing on multiple servers" (QTNP) use this.
+	QueryBackendTime time.Duration
+	// QueryDisk is the bytes a query reads when the DB buffer misses
+	// (default 0: DB fits in buffer pool).
+	QueryDisk int64
+	// QueryCacheBytes is the MySQL-style query cache size (default 16 MB);
+	// 0 disables query caching.
+	QueryCacheBytes int64
+
+	// Backend selects Mongrel vs FastCGI dynamic handling.
+	Backend Backend
+	// ForkCPU is the CPU cost of forking the FastCGI process per dynamic
+	// request (default 4ms; ignored for Mongrel). Together with
+	// PerRequestMem it reproduces footnote 1: FastCGI forks a new process
+	// per request and each fork inherits the parent's memory image.
+	ForkCPU time.Duration
+	// RAMBytes is physical memory per replica (default 1 GB).
+	RAMBytes int64
+	// BaseMemBytes is the resident set with no load (default 200 MB).
+	BaseMemBytes int64
+	// PerRequestMem is the extra resident memory per in-flight dynamic
+	// request under FastCGI (default 20 MB, the forked parent image).
+	PerRequestMem int64
+	// SwapPenalty scales the thrashing slowdown: CPU and disk work is
+	// multiplied by 1 + SwapPenalty * overcommit, where overcommit is the
+	// resident-over-RAM fraction (default 8).
+	SwapPenalty float64
+
+	// WorkerHold is extra wall time a worker slot stays occupied per
+	// request beyond CPU and I/O (connection handling, write drain,
+	// lingering close). It does not delay the response of the request that
+	// holds it, but it starves later arrivals once Workers are exhausted —
+	// the software-configuration artifact behind Univ-2's uniform stop at
+	// crowd sizes 110–150 (§4.2).
+	WorkerHold time.Duration
+
+	// Replicas models a load-balanced farm of identical servers behind one
+	// IP (QTP has 16). Capacities above are per replica.
+	Replicas int
+
+	// HeaderBytes is the HTTP response header size (default 300).
+	HeaderBytes int64
+
+	// Synthetic, when non-nil, replaces the entire resource pipeline with a
+	// synthetic response-time model (used by the §3.1 validation server).
+	Synthetic SyntheticModel
+	// SyntheticSettle is the gathering window of the synthetic server
+	// (default 50ms): a request waits this long before sampling the pending
+	// count, so a synchronized crowd is fully assembled and every member
+	// observes pending ≈ crowd size, matching the §3.1 validation server's
+	// behaviour. Baselines include the same constant, so normalized
+	// response times are unaffected.
+	SyntheticSettle time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "server"
+	}
+	if c.AccessBandwidth <= 0 {
+		c.AccessBandwidth = 12.5e6
+	}
+	if c.Workers <= 0 {
+		c.Workers = 256
+	}
+	if c.Backlog <= 0 {
+		c.Backlog = 128
+	}
+	if c.Cores <= 0 {
+		c.Cores = 2
+	}
+	if c.ParseCPU <= 0 {
+		c.ParseCPU = time.Millisecond
+	}
+	if c.RenderCPU <= 0 {
+		c.RenderCPU = 200 * time.Microsecond
+	}
+	if c.DiskSeek <= 0 {
+		c.DiskSeek = 6 * time.Millisecond
+	}
+	if c.DiskBandwidth <= 0 {
+		c.DiskBandwidth = 40e6
+	}
+	if c.FileCacheBytes <= 0 {
+		c.FileCacheBytes = 64 << 20
+	}
+	if c.DBConns <= 0 {
+		c.DBConns = 16
+	}
+	if c.QueryCPU <= 0 {
+		c.QueryCPU = 20 * time.Millisecond
+	}
+	if c.QueryCacheBytes < 0 {
+		c.QueryCacheBytes = 0
+	}
+	if c.RAMBytes <= 0 {
+		c.RAMBytes = 1 << 30
+	}
+	if c.BaseMemBytes <= 0 {
+		c.BaseMemBytes = 200 << 20
+	}
+	if c.PerRequestMem <= 0 {
+		c.PerRequestMem = 20 << 20
+	}
+	if c.SwapPenalty <= 0 {
+		c.SwapPenalty = 8
+	}
+	if c.ForkCPU <= 0 {
+		c.ForkCPU = 4 * time.Millisecond
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.HeaderBytes <= 0 {
+		c.HeaderBytes = 300
+	}
+	if c.SyntheticSettle <= 0 {
+		c.SyntheticSettle = 50 * time.Millisecond
+	}
+	return c
+}
+
+// Request errors surfaced to clients.
+var (
+	ErrRefused  = errors.New("websim: connection refused (backlog full)")
+	ErrNotFound = errors.New("websim: object not found")
+	ErrTimeout  = errors.New("websim: request deadline exceeded")
+)
+
+// Request is one HTTP request as seen at the server.
+type Request struct {
+	Method string // "GET" or "HEAD"
+	URL    string
+	// ClientBW caps the response transfer rate (bytes/sec; 0 = uncapped).
+	ClientBW float64
+	// ClientRTT is used for the TCP slow-start penalty on large transfers.
+	ClientRTT time.Duration
+	// Deadline is an absolute simulation time after which the server gives
+	// up (zero = none). Clients enforce their own 10s budget; the server
+	// deadline prevents zombie work.
+	Deadline time.Duration
+}
+
+// Response reports the server-side outcome.
+type Response struct {
+	Status int // 200, 404, 503, or 0 with Err set
+	Bytes  int64
+	// ServerTime is time from accept to last byte handed to the link.
+	ServerTime time.Duration
+	Err        error
+}
+
+// Server is a simulated installation hosting a content.Site.
+type Server struct {
+	env  *netsim.Env
+	cfg  Config
+	site *content.Site
+
+	access  *netsim.Link
+	workers *netsim.Resource
+	cpu     *netsim.Link // processor sharing: "bytes" are core-seconds
+	disk    *netsim.Resource
+	dbPool  *netsim.Resource
+
+	fileCache  *lru
+	queryCache *lru
+
+	resident     int64 // bytes, FastCGI model
+	peakResident int64
+	peakWindow   int64 // peak resident since last TakePeakResident
+
+	pending int // concurrent accepted requests (drives SyntheticModel)
+
+	// counters
+	served   uint64
+	refused  uint64
+	timedOut uint64
+	arrivals []Arrival
+	logging  bool
+}
+
+// Arrival is one request-arrival log record (server access log, used by the
+// §4 synchronization analyses).
+type Arrival struct {
+	At     time.Duration
+	URL    string
+	Method string
+	Tag    string // request tag (e.g. "mfc" vs "bg")
+}
+
+// NewServer builds a server bound to env hosting site.
+func NewServer(env *netsim.Env, cfg Config, site *content.Site) *Server {
+	cfg = cfg.withDefaults()
+	r := float64(cfg.Replicas)
+	s := &Server{
+		env:        env,
+		cfg:        cfg,
+		site:       site,
+		access:     env.NewLink(cfg.Name+"/access", cfg.AccessBandwidth*r),
+		workers:    env.NewResource(cfg.Name+"/workers", cfg.Workers*cfg.Replicas),
+		cpu:        env.NewLink(cfg.Name+"/cpu", cfg.Cores*r),
+		disk:       env.NewResource(cfg.Name+"/disk", cfg.Replicas),
+		dbPool:     env.NewResource(cfg.Name+"/db", cfg.DBConns*cfg.Replicas),
+		fileCache:  newLRU(cfg.FileCacheBytes * int64(cfg.Replicas)),
+		queryCache: newLRU(cfg.QueryCacheBytes * int64(cfg.Replicas)),
+		resident:   cfg.BaseMemBytes,
+	}
+	s.peakResident = s.resident
+	return s
+}
+
+// Config returns the (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Site returns the hosted content.
+func (s *Server) Site() *content.Site { return s.site }
+
+// EnableAccessLog records request arrivals (Table 2 style analysis).
+func (s *Server) EnableAccessLog() { s.logging = true }
+
+// AccessLog returns the recorded arrivals.
+func (s *Server) AccessLog() []Arrival { return s.arrivals }
+
+// Served, Refused and TimedOut return request counters.
+func (s *Server) Served() uint64   { return s.served }
+func (s *Server) Refused() uint64  { return s.refused }
+func (s *Server) TimedOut() uint64 { return s.timedOut }
+
+// PeakResident returns the peak resident memory observed (bytes).
+func (s *Server) PeakResident() int64 { return s.peakResident }
+
+// TakePeakResident returns the peak resident memory since the previous
+// call and resets the window peak (used by the monitor so bursts shorter
+// than the sampling interval are still seen, as atop's high-water marks
+// would show them).
+func (s *Server) TakePeakResident() int64 {
+	p := s.peakWindow
+	if s.resident > p {
+		p = s.resident
+	}
+	s.peakWindow = s.resident
+	return p
+}
+
+// Resident returns current resident memory (bytes).
+func (s *Server) Resident() int64 { return s.resident }
+
+// Pending returns the number of requests accepted and not yet answered.
+func (s *Server) Pending() int { return s.pending }
+
+// AccessLink exposes the outbound link for monitoring.
+func (s *Server) AccessLink() *netsim.Link { return s.access }
+
+// CPU exposes the processor-sharing engine for monitoring.
+func (s *Server) CPU() *netsim.Link { return s.cpu }
+
+// Disk and DBPool expose those resources for monitoring.
+func (s *Server) Disk() *netsim.Resource   { return s.disk }
+func (s *Server) DBPool() *netsim.Resource { return s.dbPool }
+
+// thrash returns the current service-time multiplier from memory pressure.
+func (s *Server) thrash() float64 {
+	ram := s.cfg.RAMBytes * int64(s.cfg.Replicas)
+	if s.resident <= ram {
+		return 1
+	}
+	over := float64(s.resident-ram) / float64(ram)
+	return 1 + s.cfg.SwapPenalty*over
+}
+
+func (s *Server) remaining(deadline time.Duration) (time.Duration, bool) {
+	if deadline == 0 {
+		return time.Duration(math.MaxInt64 / 4), true
+	}
+	rem := deadline - s.env.Now()
+	if rem <= 0 {
+		return 0, false
+	}
+	return rem, true
+}
+
+// Serve handles one request on behalf of the calling simulated process and
+// blocks until the response is fully transmitted (or failed). Tag labels the
+// request in the access log.
+func (s *Server) Serve(p *netsim.Proc, tag string, req Request) Response {
+	start := s.env.Now()
+	if s.logging {
+		s.arrivals = append(s.arrivals, Arrival{At: start, URL: req.URL, Method: req.Method, Tag: tag})
+	}
+
+	obj, ok := s.site.Lookup(req.URL)
+	if !ok {
+		// 404s still cost parse CPU, but we keep them cheap and exact.
+		return Response{Status: 404, Err: ErrNotFound, ServerTime: s.env.Now() - start}
+	}
+
+	// Admission: worker slot or bounded backlog.
+	if !s.workers.TryAcquire() {
+		if s.workers.QueueLen() >= s.cfg.Backlog*s.cfg.Replicas {
+			s.refused++
+			return Response{Status: 503, Err: ErrRefused, ServerTime: s.env.Now() - start}
+		}
+		rem, ok := s.remaining(req.Deadline)
+		if !ok || !s.workers.AcquireTimeout(p, rem) {
+			s.timedOut++
+			return Response{Err: ErrTimeout, ServerTime: s.env.Now() - start}
+		}
+	}
+	// The worker slot is held beyond the response by WorkerHold (lingering
+	// close): the response returns now, the slot frees later.
+	defer func() {
+		if s.cfg.WorkerHold > 0 {
+			s.env.After(s.cfg.WorkerHold, s.workers.Release)
+		} else {
+			s.workers.Release()
+		}
+	}()
+
+	s.pending++
+	defer func() { s.pending-- }()
+
+	if s.cfg.Synthetic != nil {
+		return s.serveSynthetic(p, start, req, obj)
+	}
+
+	// Parse (plus the base page's heavier handling when applicable).
+	parse := s.cfg.ParseCPU
+	if req.URL == s.site.Base {
+		parse += s.cfg.BaseExtraCPU
+	}
+	if !s.burnCPU(p, parse, req.Deadline) {
+		s.timedOut++
+		return Response{Err: ErrTimeout, ServerTime: s.env.Now() - start}
+	}
+
+	var body int64
+	switch {
+	case req.Method == "HEAD":
+		body = 0
+	case obj.Dynamic:
+		resp := s.serveDynamic(p, req, obj)
+		if resp.Err != nil {
+			resp.ServerTime = s.env.Now() - start
+			return resp
+		}
+		body = obj.Size
+	default:
+		if err := s.serveStatic(p, req, obj); err != nil {
+			s.timedOut++
+			return Response{Err: err, ServerTime: s.env.Now() - start}
+		}
+		body = obj.Size
+	}
+
+	// Render + transmit.
+	if !s.burnCPU(p, s.cfg.RenderCPU, req.Deadline) {
+		s.timedOut++
+		return Response{Err: ErrTimeout, ServerTime: s.env.Now() - start}
+	}
+	if err := s.transmit(p, body+s.cfg.HeaderBytes, req); err != nil {
+		s.timedOut++
+		return Response{Err: err, ServerTime: s.env.Now() - start}
+	}
+
+	s.served++
+	return Response{Status: 200, Bytes: body, ServerTime: s.env.Now() - start}
+}
+
+// burnCPU consumes d of CPU demand (scaled by thrashing) under processor
+// sharing, respecting the request deadline. Reports false on timeout.
+func (s *Server) burnCPU(p *netsim.Proc, d time.Duration, deadline time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	work := d.Seconds() * s.thrash() // core-seconds
+	rem, ok := s.remaining(deadline)
+	if !ok {
+		return false
+	}
+	return s.cpu.TransferTimeout(p, work, 1 /* one core max per request */, rem)
+}
+
+// serveStatic reads the object from cache or disk.
+func (s *Server) serveStatic(p *netsim.Proc, req Request, obj content.Object) error {
+	if s.fileCache.get(obj.URL) {
+		return nil
+	}
+	rem, ok := s.remaining(req.Deadline)
+	if !ok {
+		return ErrTimeout
+	}
+	if !s.disk.AcquireTimeout(p, rem) {
+		return ErrTimeout
+	}
+	seek := time.Duration(float64(s.cfg.DiskSeek) * s.thrash())
+	xfer := time.Duration(float64(obj.Size) / s.cfg.DiskBandwidth * s.thrash() * float64(time.Second))
+	p.Sleep(seek + xfer)
+	s.disk.Release()
+	s.fileCache.put(obj.URL, obj.Size)
+	return nil
+}
+
+// serveDynamic executes a query through the backend interface.
+func (s *Server) serveDynamic(p *netsim.Proc, req Request, obj content.Object) Response {
+	// FastCGI: fork — the request holds a parent-image copy for its
+	// entire lifetime (including pool queueing) and pays the fork CPU.
+	if s.cfg.Backend == BackendFastCGI {
+		s.resident += s.cfg.PerRequestMem
+		if s.resident > s.peakResident {
+			s.peakResident = s.resident
+		}
+		if s.resident > s.peakWindow {
+			s.peakWindow = s.resident
+		}
+		defer func() { s.resident -= s.cfg.PerRequestMem }()
+		if !s.burnCPU(p, s.cfg.ForkCPU, req.Deadline) {
+			return Response{Err: ErrTimeout}
+		}
+	}
+
+	rem, ok := s.remaining(req.Deadline)
+	if !ok {
+		return Response{Err: ErrTimeout}
+	}
+	if !s.dbPool.AcquireTimeout(p, rem) {
+		s.timedOut++
+		return Response{Err: ErrTimeout}
+	}
+	defer s.dbPool.Release()
+
+	if s.queryCache.enabled() && s.queryCache.get(req.URL) {
+		// Cache hit: negligible CPU (MySQL's query cache returns the
+		// stored result without re-executing).
+		if !s.burnCPU(p, 200*time.Microsecond, req.Deadline) {
+			return Response{Err: ErrTimeout}
+		}
+		return Response{Status: 200}
+	}
+
+	if s.cfg.QueryDisk > 0 {
+		rem, ok := s.remaining(req.Deadline)
+		if !ok {
+			return Response{Err: ErrTimeout}
+		}
+		if !s.disk.AcquireTimeout(p, rem) {
+			return Response{Err: ErrTimeout}
+		}
+		d := time.Duration((s.cfg.DiskSeek.Seconds() + float64(s.cfg.QueryDisk)/s.cfg.DiskBandwidth) * s.thrash() * float64(time.Second))
+		p.Sleep(d)
+		s.disk.Release()
+	}
+	if s.cfg.QueryBackendTime > 0 {
+		// Executed on the separate DB machine; the pool connection is the
+		// contended resource, not this server's CPU.
+		p.Sleep(time.Duration(float64(s.cfg.QueryBackendTime) * s.thrash()))
+	}
+	if !s.burnCPU(p, s.cfg.QueryCPU, req.Deadline) {
+		return Response{Err: ErrTimeout}
+	}
+	if s.queryCache.enabled() {
+		s.queryCache.put(req.URL, obj.Size)
+	}
+	return Response{Status: 200}
+}
+
+// transmit pushes the response through the shared access link, charging the
+// TCP slow-start ramp for transfers that span multiple windows.
+func (s *Server) transmit(p *netsim.Proc, bytes int64, req Request) error {
+	if bytes <= 0 {
+		return nil
+	}
+	if penalty := slowStartPenalty(bytes, req.ClientRTT); penalty > 0 {
+		p.Sleep(penalty)
+	}
+	rem, ok := s.remaining(req.Deadline)
+	if !ok {
+		return ErrTimeout
+	}
+	if !s.access.TransferTimeout(p, float64(bytes), req.ClientBW, rem) {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// slowStartPenalty approximates TCP slow start as the extra round trips
+// spent growing the congestion window before the transfer is
+// bandwidth-limited: ceil(log2(bytes/(initcwnd*MSS))) RTTs.
+func slowStartPenalty(bytes int64, rtt time.Duration) time.Duration {
+	const (
+		mss      = 1460
+		initcwnd = 4
+	)
+	if rtt <= 0 || bytes <= initcwnd*mss {
+		return 0
+	}
+	rounds := 0
+	window := int64(initcwnd * mss)
+	for window < bytes && rounds < 16 {
+		window *= 2
+		rounds++
+	}
+	return time.Duration(rounds) * rtt
+}

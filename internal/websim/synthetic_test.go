@@ -1,0 +1,66 @@
+package websim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLinearModel(t *testing.T) {
+	m := LinearModel{Slope: 5 * time.Millisecond}
+	if d := m.Delay(1); d != 0 {
+		t.Errorf("Delay(1) = %v, want 0", d)
+	}
+	if d := m.Delay(11); d != 50*time.Millisecond {
+		t.Errorf("Delay(11) = %v, want 50ms", d)
+	}
+	if m.Name() != "linear" {
+		t.Error("name")
+	}
+}
+
+func TestExponentialModelDoubling(t *testing.T) {
+	m := ExponentialModel{Unit: 10 * time.Millisecond, Doubling: 10}
+	// At pending = 1 + 2*doubling the multiplier is 4: delay = unit*(4-1).
+	if d := m.Delay(21); d != 30*time.Millisecond {
+		t.Errorf("Delay(21) = %v, want 30ms", d)
+	}
+	if d := m.Delay(1); d != 0 {
+		t.Errorf("Delay(1) = %v, want 0", d)
+	}
+}
+
+func TestStepModel(t *testing.T) {
+	m := StepModel{Knee: 30, High: time.Second}
+	if d := m.Delay(30); d != 0 {
+		t.Errorf("Delay(30) = %v, want 0", d)
+	}
+	if d := m.Delay(31); d != time.Second {
+		t.Errorf("Delay(31) = %v, want 1s", d)
+	}
+}
+
+// Property: all models are non-decreasing in the pending count, the
+// invariant §3.1 requires of the validation server.
+func TestModelsMonotoneProperty(t *testing.T) {
+	models := []SyntheticModel{
+		LinearModel{Slope: 3 * time.Millisecond},
+		ExponentialModel{Unit: 7 * time.Millisecond, Doubling: 8},
+		StepModel{Knee: 25, High: 500 * time.Millisecond},
+	}
+	f := func(a, b uint8) bool {
+		lo, hi := int(a)%200, int(b)%200
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for _, m := range models {
+			if m.Delay(lo) > m.Delay(hi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+package mfc
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mfc/internal/content"
+	"mfc/internal/core"
+	"mfc/internal/netsim"
+	"mfc/internal/websim"
+)
+
+// SimTarget describes a simulated experiment: the server model, its
+// content, background traffic, and the client population.
+type SimTarget struct {
+	// Server is the installation under test (use a Preset* or hand-build).
+	Server ServerConfig
+	// Site is the hosted content (required).
+	Site *Site
+	// Background is the non-MFC workload during the experiment (zero Rate
+	// disables it).
+	Background BackgroundConfig
+	// Clients is the number of simulated PlanetLab clients (default 65,
+	// the paper's validation population). Ignored when ClientSpecs is set.
+	Clients int
+	// LAN places the clients on the target's LAN (§3 lab setting) instead
+	// of the wide area.
+	LAN bool
+	// ClientSpecs overrides the generated client population entirely.
+	ClientSpecs []core.SimClientSpec
+	// Seed drives every random choice (default 1). The same SimTarget and
+	// Config always produce the same Result.
+	Seed int64
+	// CommandLoss and PollLoss are UDP control-message loss probabilities.
+	CommandLoss float64
+	PollLoss    float64
+	// Logf receives coordinator progress lines (nil = silent).
+	Logf func(string, ...any)
+}
+
+// SimRun is the outcome of RunSimulatedDetailed: the result plus handles
+// into the simulation for resource attribution (the lab-validation
+// experiments read the monitor the way the paper reads atop).
+type SimRun struct {
+	Result  *Result
+	Profile *Profile
+	Monitor *websim.Monitor
+	Server  *websim.Server
+	// VirtualElapsed is how much simulated time the experiment spanned.
+	VirtualElapsed time.Duration
+}
+
+// RunSimulated executes a full three-stage MFC experiment in simulation.
+func RunSimulated(t SimTarget, cfg Config) (*Result, error) {
+	run, err := RunSimulatedDetailed(t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return run.Result, nil
+}
+
+// RunSimulatedDetailed is RunSimulated returning the simulation handles.
+func RunSimulatedDetailed(t SimTarget, cfg Config) (*SimRun, error) {
+	if t.Site == nil {
+		return nil, fmt.Errorf("mfc: SimTarget.Site is required")
+	}
+	seed := t.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	env := netsim.NewEnv(seed)
+	server := websim.NewServer(env, t.Server, t.Site)
+	server.EnableAccessLog()
+
+	specs := t.ClientSpecs
+	if specs == nil {
+		n := t.Clients
+		if n <= 0 {
+			n = 65
+		}
+		if t.LAN {
+			specs = core.LANSpecs(env, n)
+		} else {
+			specs = core.PlanetLabSpecs(env, n)
+		}
+	}
+	plat := core.NewSimPlatform(env, server, specs)
+	plat.CommandLoss = t.CommandLoss
+	plat.PollLoss = t.PollLoss
+
+	// Profile the target. The crawl runs against the site model directly:
+	// the paper's profiling step precedes the MFC run and its cost is not
+	// part of any reported measurement.
+	prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: t.Site},
+		t.Site.Host, t.Site.Base, content.CrawlConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("mfc: profiling target: %w", err)
+	}
+
+	bg := websim.StartBackground(env, server, t.Background)
+	mon := websim.NewMonitor(env, server, time.Second)
+
+	run := &SimRun{Profile: prof, Monitor: mon, Server: server}
+	var expErr error
+	env.Go("coordinator", func(p *netsim.Proc) {
+		plat.Bind(p)
+		coord := core.NewCoordinator(plat, cfg, t.Logf)
+		run.Result, expErr = coord.RunExperiment(t.Site.Host, prof)
+		bg.Stop()
+		mon.Stop()
+	})
+	env.Run(0)
+	run.VirtualElapsed = env.Now()
+	if expErr != nil {
+		return nil, expErr
+	}
+	return run, nil
+}
+
+// RunSimulatedStage runs a single stage (used by experiments that only need
+// one request category, e.g. the §5 population studies run Base only for
+// Figure 7).
+func RunSimulatedStage(t SimTarget, cfg Config, stage Stage) (*StageResult, *SimRun, error) {
+	if t.Site == nil {
+		return nil, nil, fmt.Errorf("mfc: SimTarget.Site is required")
+	}
+	seed := t.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	env := netsim.NewEnv(seed)
+	server := websim.NewServer(env, t.Server, t.Site)
+	server.EnableAccessLog()
+
+	specs := t.ClientSpecs
+	if specs == nil {
+		n := t.Clients
+		if n <= 0 {
+			n = 65
+		}
+		if t.LAN {
+			specs = core.LANSpecs(env, n)
+		} else {
+			specs = core.PlanetLabSpecs(env, n)
+		}
+	}
+	plat := core.NewSimPlatform(env, server, specs)
+	plat.CommandLoss = t.CommandLoss
+	plat.PollLoss = t.PollLoss
+
+	prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: t.Site},
+		t.Site.Host, t.Site.Base, content.CrawlConfig{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("mfc: profiling target: %w", err)
+	}
+
+	bg := websim.StartBackground(env, server, t.Background)
+	mon := websim.NewMonitor(env, server, time.Second)
+
+	run := &SimRun{Profile: prof, Monitor: mon, Server: server}
+	var sr *StageResult
+	var regErr error
+	env.Go("coordinator", func(p *netsim.Proc) {
+		plat.Bind(p)
+		coord := core.NewCoordinator(plat, cfg, t.Logf)
+		if err := coord.Register(); err != nil {
+			regErr = err
+		} else {
+			sr = coord.RunStage(stage, prof)
+		}
+		bg.Stop()
+		mon.Stop()
+	})
+	env.Run(0)
+	run.VirtualElapsed = env.Now()
+	if regErr != nil {
+		return nil, nil, regErr
+	}
+	run.Result = &Result{Target: t.Site.Host, Stages: []*core.StageResult{sr}}
+	return sr, run, nil
+}
