@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: build test race vet fmt-check bench bench-short experiments ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race coverage on the packages that own concurrency: the worker pool, the
+# DES kernel it drives, and the experiments layer that fans out on it.
+race:
+	$(GO) test -race ./internal/runner ./internal/netsim ./internal/experiments
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Full figure/table benchmark sweep -> BENCH_results.json (tracked across
+# PRs; see EXPERIMENTS.md for expected values).
+bench:
+	$(GO) run ./cmd/mfc-bench -out BENCH_results.json
+
+bench-short:
+	$(GO) run ./cmd/mfc-bench -short -out BENCH_results.json
+
+experiments:
+	$(GO) run ./cmd/mfc-experiments
+
+ci: build vet fmt-check test race

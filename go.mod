@@ -1,0 +1,3 @@
+module mfc
+
+go 1.22

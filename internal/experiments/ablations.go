@@ -32,25 +32,27 @@ type CheckPhaseResult struct {
 // the transient is accepted as a constraint.
 func AblationCheckPhase(seeds int) (*CheckPhaseResult, error) {
 	res := &CheckPhaseResult{Seeds: seeds}
-	for s := 0; s < seeds; s++ {
-		for _, check := range []bool{true, false} {
-			cfg := core.DefaultConfig()
-			cfg.Threshold = 100 * time.Millisecond
-			cfg.Step = 5
-			cfg.MaxCrowd = 50
-			cfg.MinClients = 50
-			cfg.CheckPhase = check
+	// Job i is (seed i/2, check i%2==0): every (seed, variant) pair is an
+	// independent simulation, counted in index order after the pool drains.
+	stops, err := parMap(seeds*2, func(i int) (int, error) {
+		cfg := core.DefaultConfig()
+		cfg.Threshold = 100 * time.Millisecond
+		cfg.Step = 5
+		cfg.MaxCrowd = 50
+		cfg.MinClients = 50
+		cfg.CheckPhase = i%2 == 0
 
-			stop, err := noisyBaseRun(cfg, int64(1000+s))
-			if err != nil {
-				return nil, err
-			}
-			if stop > 0 {
-				if check {
-					res.FalseStopsWith++
-				} else {
-					res.FalseStopsSans++
-				}
+		return noisyBaseRun(cfg, int64(1000+i/2))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, stop := range stops {
+		if stop > 0 {
+			if i%2 == 0 {
+				res.FalseStopsWith++
+			} else {
+				res.FalseStopsSans++
 			}
 		}
 	}
@@ -130,8 +132,9 @@ type QuantileAblationResult struct {
 // remote bottleneck, the median rule (50% must observe) crosses the
 // threshold and blames the target falsely, while the 90% rule does not.
 func AblationQuantile(seed int64) (*QuantileAblationResult, error) {
-	res := &QuantileAblationResult{}
-	for _, q := range []float64{0.5, 0.9} {
+	quantiles := []float64{0.5, 0.9}
+	stops, err := parMap(len(quantiles), func(qi int) (int, error) {
+		q := quantiles[qi]
 		env := netsim.NewEnv(seed)
 		// Target with an over-provisioned pipe: it is never the bottleneck.
 		srvCfg := websim.QTNPConfig()
@@ -150,7 +153,7 @@ func AblationQuantile(seed int64) (*QuantileAblationResult, error) {
 		prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: site},
 			site.Host, site.Base, content.CrawlConfig{})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		cfg := core.DefaultConfig()
 		cfg.Step = 5
@@ -168,17 +171,15 @@ func AblationQuantile(seed int64) (*QuantileAblationResult, error) {
 			sr = coord.RunStage(core.StageLargeObject, prof)
 		})
 		env.Run(0)
-		stop := 0
 		if sr.Verdict == core.VerdictStopped {
-			stop = sr.StoppingCrowd
+			return sr.StoppingCrowd, nil
 		}
-		if q == 0.5 {
-			res.MedianStop = stop
-		} else {
-			res.Q90Stop = stop
-		}
+		return 0, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &QuantileAblationResult{MedianStop: stops[0], Q90Stop: stops[1]}, nil
 }
 
 // Render prints the quantile comparison.
@@ -210,27 +211,30 @@ type StepAblationResult struct{ Points []StepPoint }
 // against QTNP's Base stage: larger steps find a coarser stopping size with
 // fewer total requests.
 func AblationStep(seed int64) (*StepAblationResult, error) {
-	res := &StepAblationResult{}
-	for _, step := range []int{2, 5, 10, 15} {
+	steps := []int{2, 5, 10, 15}
+	points, err := parMap(len(steps), func(i int) (StepPoint, error) {
 		cfg := core.DefaultConfig()
-		cfg.Step = step
+		cfg.Step = steps[i]
 		cfg.MaxCrowd = 60
 		cfg.MinClients = 50
 
 		out, _, err := runSite(websim.QTNPConfig(), websim.QTSite(7),
 			websim.BackgroundConfig{}, singleStage(cfg), 70, seed)
 		if err != nil {
-			return nil, err
+			return StepPoint{}, err
 		}
 		sr := out.Stage(core.StageBase)
-		res.Points = append(res.Points, StepPoint{
-			Step:          step,
+		return StepPoint{
+			Step:          steps[i],
 			StoppingCrowd: sr.StoppingCrowd,
 			TotalRequests: sr.TotalRequests,
 			Epochs:        len(sr.Epochs),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &StepAblationResult{Points: points}, nil
 }
 
 // singleStage returns cfg unchanged; runSite runs all three stages, so the
@@ -268,18 +272,18 @@ type StaggerResult struct{ Points []StaggerPoint }
 // with increasing inter-arrival spacing: synchronized arrivals stop early,
 // staggered arrivals are absorbed.
 func ExtensionStaggered(seed int64) (*StaggerResult, error) {
-	res := &StaggerResult{}
-	for _, st := range []time.Duration{0, 20 * time.Millisecond, 100 * time.Millisecond, 400 * time.Millisecond} {
+	staggers := []time.Duration{0, 20 * time.Millisecond, 100 * time.Millisecond, 400 * time.Millisecond}
+	points, err := parMap(len(staggers), func(i int) (StaggerPoint, error) {
 		cfg := core.DefaultConfig()
 		cfg.Step = 5
 		cfg.MaxCrowd = 50
 		cfg.MinClients = 50
-		cfg.Stagger = st
+		cfg.Stagger = staggers[i]
 
 		out, _, err := runSite(websim.Univ1Config(), websim.Univ1Site(5),
 			websim.BackgroundConfig{}, cfg, 65, seed)
 		if err != nil {
-			return nil, err
+			return StaggerPoint{}, err
 		}
 		sr := out.Stage(core.StageBase)
 		var maxMed time.Duration
@@ -292,9 +296,12 @@ func ExtensionStaggered(seed int64) (*StaggerResult, error) {
 		if sr.Verdict == core.VerdictStopped {
 			stop = sr.StoppingCrowd
 		}
-		res.Points = append(res.Points, StaggerPoint{Stagger: st, StoppingCrowd: stop, MaxMedian: maxMed})
+		return StaggerPoint{Stagger: staggers[i], StoppingCrowd: stop, MaxMedian: maxMed}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &StaggerResult{Points: points}, nil
 }
 
 // Render prints the stagger sweep.
@@ -332,8 +339,9 @@ type MRResult struct{ Points []MRPoint }
 // MFC-mr reaches a given request volume with proportionally fewer client
 // machines, which is exactly why the paper uses it on QTNP and QTP.
 func ExtensionMultiRequest(seed int64) (*MRResult, error) {
-	res := &MRResult{}
-	for _, m := range []int{1, 2, 5} {
+	multipliers := []int{1, 2, 5}
+	points, err := parMap(len(multipliers), func(i int) (MRPoint, error) {
+		m := multipliers[i]
 		cfg := core.DefaultConfig()
 		cfg.Step = 2
 		cfg.MaxCrowd = 60
@@ -343,7 +351,7 @@ func ExtensionMultiRequest(seed int64) (*MRResult, error) {
 		out, _, err := runSite(websim.QTNPConfig(), websim.QTSite(7),
 			websim.BackgroundConfig{}, cfg, 70, seed)
 		if err != nil {
-			return nil, err
+			return MRPoint{}, err
 		}
 		sr := out.Stage(core.StageBase)
 		p := MRPoint{Multiplier: m}
@@ -351,9 +359,12 @@ func ExtensionMultiRequest(seed int64) (*MRResult, error) {
 			p.StopClients = sr.StoppingCrowd
 			p.StopRequests = sr.StoppingCrowd * m
 		}
-		res.Points = append(res.Points, p)
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &MRResult{Points: points}, nil
 }
 
 // Render prints the sweep.

@@ -56,12 +56,21 @@ func CompareDeployments(site *content.Site, cfg core.Config, deployments []Deplo
 	byStage := map[core.Stage][]int{}
 	scores := make([]int, len(deployments))
 
-	for di, d := range deployments {
-		res.Labels = append(res.Labels, d.Label)
-		out, _, err := runSite(d.Config, site, websim.BackgroundConfig{}, cfg, 65, seed)
+	// Each deployment is profiled on its own Env; the pool returns per-run
+	// results indexed by deployment, and the scoring folds them in the
+	// original deployment order.
+	outs, err := parMap(len(deployments), func(di int) (*core.Result, error) {
+		out, _, err := runSite(deployments[di].Config, site, websim.BackgroundConfig{}, cfg, 65, seed)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: comparing %s: %w", d.Label, err)
+			return nil, fmt.Errorf("experiments: comparing %s: %w", deployments[di].Label, err)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, out := range outs {
+		res.Labels = append(res.Labels, deployments[di].Label)
 		for _, sr := range out.Stages {
 			stop := 0
 			if sr.Verdict == core.VerdictStopped {

@@ -90,11 +90,12 @@ func Table1() (*Table1Result, error) {
 		{"MFC 100ms (09/12)", std, 12},
 		{"MFC-mr 250ms (09/21)", mr, 21},
 	}
-	for _, r := range runs {
+	rows, err := parMap(len(runs), func(i int) (Table1Row, error) {
+		r := runs[i]
 		out, _, err := runSite(websim.QTNPConfig(), websim.QTSite(7),
 			websim.BackgroundConfig{}, r.cfg, 85, r.seed)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table1 %s: %w", r.label, err)
+			return Table1Row{}, fmt.Errorf("experiments: table1 %s: %w", r.label, err)
 		}
 		row := Table1Row{Label: r.label, Threshold: r.cfg.Threshold, TotalReqs: out.TotalRequests()}
 		m := r.cfg.MultiRequest
@@ -120,8 +121,12 @@ func Table1() (*Table1Result, error) {
 				row.MaxReqs = maxReq
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -265,8 +270,8 @@ func table3(site string, srvCfg websim.Config, siteModel *content.Site, runs []s
 	rate  float64
 	seed  int64
 }) (*Table3Result, error) {
-	res := &Table3Result{Site: site}
-	for _, r := range runs {
+	rows, err := parMap(len(runs), func(i int) (Table3Row, error) {
+		r := runs[i]
 		cfg := core.DefaultConfig()
 		cfg.Threshold = 250 * time.Millisecond
 		cfg.Step = 5
@@ -277,7 +282,7 @@ func table3(site string, srvCfg websim.Config, siteModel *content.Site, runs []s
 		out, server, err := runSite(srvCfg, siteModel,
 			websim.BackgroundConfig{Rate: r.rate}, cfg, 85, r.seed)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table3 %s %s: %w", site, r.label, err)
+			return Table3Row{}, fmt.Errorf("experiments: table3 %s %s: %w", site, r.label, err)
 		}
 		row := Table3Row{Label: r.label, BGRate: r.rate, MFCReqs: out.TotalRequests()}
 		for _, sr := range out.Stages {
@@ -307,9 +312,12 @@ func table3(site string, srvCfg websim.Config, siteModel *content.Site, runs []s
 			}
 			row.BGShare = float64(mfcN) / float64(total)
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table3Result{Site: site, Rows: rows}, nil
 }
 
 // Render prints one university's table.

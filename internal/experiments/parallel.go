@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"context"
+
+	"mfc/internal/runner"
+)
+
+// Parallelism bounds the worker pool every independent-site / independent-
+// trial sweep in this package runs on. 0 (the default) means GOMAXPROCS.
+// Each job builds its own netsim.Env with a seed derived from its index, so
+// the pool size changes wall-clock time only — never a result. Tests pin it
+// to prove exactly that; production callers normally leave it alone.
+var Parallelism int
+
+// parMap fans the package's independent simulation jobs out on the shared
+// pool. Results are indexed by job, so callers aggregate them in index order
+// and stay byte-identical to the sequential loops this package used to have.
+func parMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return runner.Map(context.Background(), n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	}, runner.Workers(Parallelism))
+}

@@ -59,25 +59,43 @@ type PopulationResult struct {
 	Bands []BandHistogram
 }
 
+// siteOutcome is one site's measurement, carried from the worker pool back
+// to the in-order aggregation.
+type siteOutcome struct {
+	stop int
+	ok   bool
+}
+
 // runPopulationStage measures one stage against every site in each band,
 // as §5 does: standard MFC, θ=100ms, one request per client, at most 85
 // clients (we ramp to 50, the bucket ceiling the paper reports).
+//
+// The sites are measured on the package worker pool: each site's simulation
+// seed is derived from its band and index exactly as the original sequential
+// loop derived it, and the histogram is folded in site order afterwards, so
+// the result is byte-identical whatever the pool size.
 func runPopulationStage(stage core.Stage, bands []population.Band, sizes []int, seed int64) (*PopulationResult, error) {
 	res := &PopulationResult{Stage: stage}
 	for bi, band := range bands {
 		n := sizes[bi]
 		samples := population.Generate(band, n, seed+int64(bi)*1000)
-		hist := BandHistogram{Band: band}
-		for si, sample := range samples {
-			stop, ok, err := measureSite(stage, sample, seed+int64(bi)*1000+int64(si))
+		outcomes, err := parMap(len(samples), func(si int) (siteOutcome, error) {
+			stop, ok, err := measureSite(stage, samples[si], seed+int64(bi)*1000+int64(si))
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %v on %s: %w", stage, sample.Name, err)
+				return siteOutcome{}, fmt.Errorf("experiments: %v on %s: %w", stage, samples[si].Name, err)
 			}
-			if !ok {
+			return siteOutcome{stop: stop, ok: ok}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		hist := BandHistogram{Band: band}
+		for _, o := range outcomes {
+			if !o.ok {
 				hist.Skipped++
 				continue
 			}
-			hist.Counts[bucketOf(stop)]++
+			hist.Counts[bucketOf(o.stop)]++
 			hist.Total++
 		}
 		res.Bands = append(res.Bands, hist)

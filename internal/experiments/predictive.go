@@ -49,16 +49,20 @@ func PredictiveValidation(seed int64) (*PredictiveResult, error) {
 		{"qtnp (mid)", websim.QTNPConfig(), websim.QTSite(7), 2500},
 		{"univ3 (base path)", websim.Univ3Config(), websim.Univ3Site(5), 2500},
 	}
-	for _, tgt := range targets {
+	// Each target's probe (a) and surge (b) are two independent simulations;
+	// fan all 2×3 of them out as separate jobs and stitch rows afterwards.
+	rows, err := parMap(len(targets)*2, func(i int) (PredictiveRow, error) {
+		tgt := targets[i/2]
 		row := PredictiveRow{Target: tgt.name}
-
-		// (a) The MFC prediction on a fresh instance.
-		mfcStop, err := baseStageStop(tgt.cfg, tgt.site, theta, seed)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: predictive MFC on %s: %w", tgt.name, err)
+		if i%2 == 0 {
+			// (a) The MFC prediction on a fresh instance.
+			mfcStop, err := baseStageStop(tgt.cfg, tgt.site, theta, seed)
+			if err != nil {
+				return row, fmt.Errorf("experiments: predictive MFC on %s: %w", tgt.name, err)
+			}
+			row.MFCStop = mfcStop
+			return row, nil
 		}
-		row.MFCStop = mfcStop
-
 		// (b) The organic surge on another fresh instance.
 		env := netsim.NewEnv(seed + 1)
 		server := websim.NewServer(env, tgt.cfg, tgt.site)
@@ -72,7 +76,16 @@ func PredictiveValidation(seed int64) (*PredictiveResult, error) {
 		env.Run(0)
 		row.ActualPoint = fc.DegradationPoint(theta, 5)
 		row.PeakConc = fc.PeakConcurrency()
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(rows); i += 2 {
+		merged := rows[i]
+		merged.ActualPoint = rows[i+1].ActualPoint
+		merged.PeakConc = rows[i+1].PeakConc
+		res.Rows = append(res.Rows, merged)
 	}
 	return res, nil
 }

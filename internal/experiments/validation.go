@@ -244,16 +244,16 @@ type Figure6Result struct {
 }
 
 // Figure6 reproduces the §3.2 small-query workload under both backends.
+// The two lab runs are independent simulations and share the worker pool.
 func Figure6(seed int64) (*Figure6Result, error) {
-	fcgi, err := labRun(core.StageSmallQuery, websim.BackendFastCGI, seed)
+	backends := []websim.Backend{websim.BackendFastCGI, websim.BackendMongrel}
+	runs, err := parMap(len(backends), func(i int) ([]ResourcePoint, error) {
+		return labRun(core.StageSmallQuery, backends[i], seed)
+	})
 	if err != nil {
 		return nil, err
 	}
-	mongrel, err := labRun(core.StageSmallQuery, websim.BackendMongrel, seed)
-	if err != nil {
-		return nil, err
-	}
-	return &Figure6Result{FastCGI: fcgi, Mongrel: mongrel}, nil
+	return &Figure6Result{FastCGI: runs[0], Mongrel: runs[1]}, nil
 }
 
 // Render prints both backends' series.

@@ -9,10 +9,16 @@
 // scheduled entry, hands control to the corresponding process, and waits for
 // that process to block (Sleep, Wait, resource queue) or terminate before
 // advancing the clock. Identical seeds therefore produce identical runs.
+//
+// The calendar is tuned for the Sleep→Run dispatch cycle that dominates
+// simulated experiments: entries are recycled through a free list instead of
+// being reallocated per event, the binary heap is maintained in place on an
+// index-addressed slice (no container/heap interface boxing), and the
+// wake/yield token exchange uses 1-buffered channels so each handoff costs a
+// single blocking rendezvous rather than two.
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -24,7 +30,8 @@ import (
 // they hold the single execution token, which is safe by construction).
 type Env struct {
 	now   time.Duration
-	cal   calendar
+	cal   []*entry // binary min-heap ordered by (at, seq)
+	free  []*entry // recycled calendar entries
 	seq   uint64
 	yield chan struct{}
 	rng   *rand.Rand
@@ -34,7 +41,7 @@ type Env struct {
 // NewEnv returns an environment whose random source is seeded with seed.
 func NewEnv(seed int64) *Env {
 	return &Env{
-		yield: make(chan struct{}),
+		yield: make(chan struct{}, 1),
 		rng:   rand.New(rand.NewSource(seed)),
 	}
 }
@@ -47,7 +54,9 @@ func (e *Env) Now() time.Duration { return e.now }
 func (e *Env) Rand() *rand.Rand { return e.rng }
 
 // entry is one calendar item: a process wakeup, a process start, or a
-// driver callback.
+// driver callback. Entries are pooled: once popped and dispatched they
+// return to Env.free and are reused by later pushes. A Timer therefore
+// validates its saved seq before acting on the entry it points to.
 type entry struct {
 	at       time.Duration
 	seq      uint64
@@ -58,23 +67,69 @@ type entry struct {
 	canceled bool
 }
 
-type calendar []*entry
-
-func (c calendar) Len() int { return len(c) }
-func (c calendar) Less(i, j int) bool {
-	if c[i].at != c[j].at {
-		return c[i].at < c[j].at
+func entryLess(a, b *entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return c[i].seq < c[j].seq
+	return a.seq < b.seq
 }
-func (c calendar) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
-func (c *calendar) Push(x any)   { *c = append(*c, x.(*entry)) }
-func (c *calendar) Pop() any {
-	old := *c
-	n := len(old)
-	en := old[n-1]
-	old[n-1] = nil
-	*c = old[:n-1]
+
+// newEntry takes an entry from the free list (or allocates one) with all
+// scheduling fields cleared.
+func (e *Env) newEntry() *entry {
+	if n := len(e.free); n > 0 {
+		en := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return en
+	}
+	return &entry{}
+}
+
+// recycle clears an entry and returns it to the free list. Clearing seq
+// invalidates any Timer still holding the entry (timer seqs are never 0).
+func (e *Env) recycle(en *entry) {
+	*en = entry{}
+	e.free = append(e.free, en)
+}
+
+// calPush inserts an entry into the heap, sifting up in place.
+func (e *Env) calPush(en *entry) {
+	e.cal = append(e.cal, en)
+	i := len(e.cal) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(e.cal[i], e.cal[parent]) {
+			break
+		}
+		e.cal[i], e.cal[parent] = e.cal[parent], e.cal[i]
+		i = parent
+	}
+}
+
+// calPop removes and returns the earliest entry, sifting down in place.
+func (e *Env) calPop() *entry {
+	en := e.cal[0]
+	n := len(e.cal) - 1
+	e.cal[0] = e.cal[n]
+	e.cal[n] = nil
+	e.cal = e.cal[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && entryLess(e.cal[r], e.cal[l]) {
+			m = r
+		}
+		if !entryLess(e.cal[m], e.cal[i]) {
+			break
+		}
+		e.cal[i], e.cal[m] = e.cal[m], e.cal[i]
+		i = m
+	}
 	return en
 }
 
@@ -84,7 +139,7 @@ func (e *Env) push(en *entry) *entry {
 	}
 	e.seq++
 	en.seq = e.seq
-	heap.Push(&e.cal, en)
+	e.calPush(en)
 	return en
 }
 
@@ -93,17 +148,25 @@ func (e *Env) push(en *entry) *entry {
 // still blocked in that same block() call; otherwise it is dropped. This
 // makes racing wakeup sources (event trigger vs. timeout) harmless.
 func (e *Env) wakeEntry(at time.Duration, p *Proc, target uint64) *entry {
-	return e.push(&entry{at: at, proc: p, target: target})
+	en := e.newEntry()
+	en.at = at
+	en.proc = p
+	en.target = target
+	return e.push(en)
 }
 
 // Timer is a handle to a scheduled callback; Cancel prevents a pending
-// callback from running.
-type Timer struct{ en *entry }
+// callback from running. The zero Timer is valid and cancels nothing.
+type Timer struct {
+	en  *entry
+	seq uint64
+}
 
 // Cancel marks the timer so its callback will not fire. Canceling an
-// already-fired or already-canceled timer is a no-op.
-func (t *Timer) Cancel() {
-	if t != nil && t.en != nil {
+// already-fired, already-canceled, or zero timer is a no-op: once the entry
+// has been dispatched and recycled its seq no longer matches the timer's.
+func (t Timer) Cancel() {
+	if t.en != nil && t.en.seq == t.seq {
 		t.en.canceled = true
 	}
 }
@@ -111,11 +174,15 @@ func (t *Timer) Cancel() {
 // After schedules fn to run in driver context at Now()+d. The callback must
 // not block; it may schedule further work, trigger events, and start
 // processes.
-func (e *Env) After(d time.Duration, fn func()) *Timer {
+func (e *Env) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return &Timer{en: e.push(&entry{at: e.now + d, fn: fn})}
+	en := e.newEntry()
+	en.at = e.now + d
+	en.fn = fn
+	e.push(en)
+	return Timer{en: en, seq: en.seq}
 }
 
 // Proc is a simulated process. Its methods may only be called from within
@@ -141,8 +208,12 @@ func (p *Proc) Now() time.Duration { return p.env.now }
 // Go starts fn as a new simulated process at the current time.
 // It can be called before Run, from another process, or from a callback.
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{env: e, name: name, wake: make(chan struct{})}
-	e.push(&entry{at: e.now, proc: p, start: true})
+	p := &Proc{env: e, name: name, wake: make(chan struct{}, 1)}
+	en := e.newEntry()
+	en.at = e.now
+	en.proc = p
+	en.start = true
+	e.push(en)
 	go func() {
 		<-p.wake // wait for the driver to dispatch our start entry
 		defer func() {
@@ -169,7 +240,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.env.push(&entry{at: p.env.now + d, proc: p, target: p.blocks + 1})
+	p.env.wakeEntry(p.env.now+d, p, p.blocks+1)
 	p.block()
 }
 
@@ -187,33 +258,37 @@ func (p *Proc) block() {
 // It panics if a simulated process panicked, re-raising the value with
 // context. Run returns the virtual time at which it stopped.
 func (e *Env) Run(until time.Duration) time.Duration {
-	for e.cal.Len() > 0 {
-		en := heap.Pop(&e.cal).(*entry)
+	for len(e.cal) > 0 {
+		en := e.calPop()
 		if en.canceled {
+			e.recycle(en)
 			continue
 		}
 		if until > 0 && en.at > until {
-			heap.Push(&e.cal, en) // keep it for a later Run
+			e.calPush(en) // keep it for a later Run
 			e.now = until
 			return e.now
 		}
 		e.now = en.at
+		// Copy the dispatch fields and recycle before dispatching: the
+		// process or callback may push new entries that reuse this one.
+		proc, target, start, fn := en.proc, en.target, en.start, en.fn
+		e.recycle(en)
 		switch {
-		case en.start:
-			if en.proc.dead {
+		case start:
+			if proc.dead {
 				continue
 			}
-			en.proc.wake <- struct{}{}
+			proc.wake <- struct{}{}
 			<-e.yield
-		case en.proc != nil:
-			p := en.proc
-			if p.dead || !p.blockedNow || p.blocks != en.target {
+		case proc != nil:
+			if proc.dead || !proc.blockedNow || proc.blocks != target {
 				continue // stale wakeup; drop
 			}
-			p.wake <- struct{}{}
+			proc.wake <- struct{}{}
 			<-e.yield
-		case en.fn != nil:
-			en.fn()
+		case fn != nil:
+			fn()
 		}
 		if e.err != nil {
 			panic(e.err)
@@ -277,7 +352,8 @@ func (p *Proc) WaitTimeout(ev *Event, d time.Duration) bool {
 	}
 	// Two racing wakeup sources aim at the same block; the stale one is
 	// dropped by the generation guard in Run.
-	timer := &Timer{en: p.env.push(&entry{at: p.env.now + d, proc: p, target: p.blocks + 1})}
+	en := p.env.wakeEntry(p.env.now+d, p, p.blocks+1)
+	timer := Timer{en: en, seq: en.seq}
 	ev.waiters = append(ev.waiters, evWaiter{proc: p, target: p.blocks + 1})
 	p.block()
 	timer.Cancel()

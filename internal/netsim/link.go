@@ -3,7 +3,7 @@ package netsim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -18,12 +18,14 @@ import (
 // response-time growth the paper's Large Object stage exploits (Figure 5)
 // without simulating individual packets.
 type Link struct {
-	env      *Env
-	name     string
-	capacity float64 // bytes per second
-	flows    map[*Flow]struct{}
-	lastUpd  time.Duration
-	next     *Timer
+	env        *Env
+	name       string
+	capacity   float64 // bytes per second
+	flows      []*Flow // insertion order; iteration must stay deterministic
+	scratch    []*Flow // reusable sort buffer for reallocate
+	lastUpd    time.Duration
+	next       Timer
+	completeFn func() // l.complete, bound once to avoid a per-reallocate closure
 
 	// metrics
 	bytesSent  float64
@@ -57,12 +59,13 @@ func (e *Env) NewLink(name string, bytesPerSec float64) *Link {
 	if bytesPerSec <= 0 {
 		panic(fmt.Sprintf("netsim: link %q capacity %v must be positive", name, bytesPerSec))
 	}
-	return &Link{
+	l := &Link{
 		env:      e,
 		name:     name,
 		capacity: bytesPerSec,
-		flows:    make(map[*Flow]struct{}),
 	}
+	l.completeFn = l.complete // bound once: reallocate runs on every arrival
+	return l
 }
 
 // Name returns the link's label.
@@ -136,7 +139,7 @@ func (l *Link) start(bytes, cap float64) *Flow {
 	}
 	l.advance()
 	fl := &Flow{remaining: bytes, cap: cap, done: l.env.NewEvent(), started: l.env.now}
-	l.flows[fl] = struct{}{}
+	l.flows = append(l.flows, fl)
 	if len(l.flows) > l.maxActive {
 		l.maxActive = len(l.flows)
 	}
@@ -145,11 +148,12 @@ func (l *Link) start(bytes, cap float64) *Flow {
 }
 
 func (l *Link) abort(fl *Flow) {
-	if _, ok := l.flows[fl]; !ok {
+	i := slices.Index(l.flows, fl)
+	if i < 0 {
 		return
 	}
 	l.advance()
-	delete(l.flows, fl)
+	l.flows = slices.Delete(l.flows, i, i+1)
 	l.reallocate()
 }
 
@@ -165,7 +169,7 @@ func (l *Link) advance() {
 		l.busyTime += dt
 	}
 	sec := dt.Seconds()
-	for fl := range l.flows {
+	for _, fl := range l.flows {
 		moved := fl.rate * sec
 		if moved > fl.remaining {
 			moved = fl.remaining
@@ -179,21 +183,28 @@ func (l *Link) advance() {
 // reallocate recomputes max-min fair rates with per-flow caps
 // (water-filling) and schedules the next completion callback.
 func (l *Link) reallocate() {
-	if l.next != nil {
-		l.next.Cancel()
-		l.next = nil
-	}
+	l.next.Cancel()
+	l.next = Timer{}
 	if len(l.flows) == 0 {
 		return
 	}
 
 	// Water-filling: ascending by cap; each flow gets min(cap, fair share of
-	// what remains among flows not yet fixed).
-	flows := make([]*Flow, 0, len(l.flows))
-	for fl := range l.flows {
-		flows = append(flows, fl)
-	}
-	sort.Slice(flows, func(i, j int) bool { return flows[i].cap < flows[j].cap })
+	// what remains among flows not yet fixed). The sort runs on a reusable
+	// scratch buffer; stable order over the insertion-ordered flow list keeps
+	// every float accumulation below deterministic.
+	flows := append(l.scratch[:0], l.flows...)
+	l.scratch = flows
+	slices.SortStableFunc(flows, func(a, b *Flow) int {
+		switch {
+		case a.cap < b.cap:
+			return -1
+		case a.cap > b.cap:
+			return 1
+		default:
+			return 0
+		}
+	})
 	remainingCap := l.capacity
 	n := len(flows)
 	for i, fl := range flows {
@@ -234,7 +245,7 @@ func (l *Link) reallocate() {
 	if first == time.Duration(math.MaxInt64) {
 		return // all rates zero: stalled until something changes
 	}
-	l.next = l.env.After(first, l.complete)
+	l.next = l.env.After(first, l.completeFn)
 }
 
 // complete retires every flow that has (within tolerance) finished, triggers
@@ -242,14 +253,20 @@ func (l *Link) reallocate() {
 func (l *Link) complete() {
 	l.advance()
 	const eps = 1e-6 // bytes; absorbs float drift
-	for fl := range l.flows {
+	keep := l.flows[:0]
+	for _, fl := range l.flows {
 		if fl.remaining <= eps {
 			l.bytesSent += fl.remaining
 			fl.remaining = 0
-			delete(l.flows, fl)
 			l.flowsDone++
 			fl.done.Trigger()
+		} else {
+			keep = append(keep, fl)
 		}
 	}
+	for i := len(keep); i < len(l.flows); i++ {
+		l.flows[i] = nil
+	}
+	l.flows = keep
 	l.reallocate()
 }

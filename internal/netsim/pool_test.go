@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// Calendar entries are recycled once dispatched. A Timer handle kept across
+// the fire must become inert: canceling it must not cancel whatever entry
+// reused the allocation.
+func TestTimerCancelAfterFireIsInert(t *testing.T) {
+	env := NewEnv(1)
+	fired1 := false
+	tm := env.After(time.Millisecond, func() { fired1 = true })
+	env.Run(0)
+	if !fired1 {
+		t.Fatal("first timer did not fire")
+	}
+	// This push reuses the recycled entry (LIFO free list).
+	fired2 := false
+	env.After(time.Millisecond, func() { fired2 = true })
+	tm.Cancel() // stale handle: seq mismatch, must be a no-op
+	env.Run(0)
+	if !fired2 {
+		t.Error("stale Timer.Cancel killed a recycled entry's callback")
+	}
+}
+
+// Canceling the zero Timer must be safe — Link holds one before its first
+// completion callback is scheduled.
+func TestZeroTimerCancelIsSafe(t *testing.T) {
+	var tm Timer
+	tm.Cancel()
+}
+
+// A canceled entry is recycled on pop and must also be reusable.
+func TestCanceledEntryIsRecycled(t *testing.T) {
+	env := NewEnv(1)
+	count := 0
+	for i := 0; i < 100; i++ {
+		tm := env.After(time.Duration(i)*time.Microsecond, func() { count++ })
+		if i%2 == 1 {
+			tm.Cancel()
+		}
+	}
+	env.Run(0)
+	if count != 50 {
+		t.Errorf("fired %d callbacks, want 50", count)
+	}
+	if got := len(env.free); got == 0 {
+		t.Error("free list empty after run; entries are not recycled")
+	}
+}
+
+// The free list must not grow beyond the peak calendar size even over many
+// schedule/dispatch cycles — the same entries keep cycling.
+func TestFreeListStaysBounded(t *testing.T) {
+	env := NewEnv(1)
+	env.Go("ticker", func(p *Proc) {
+		for i := 0; i < 10_000; i++ {
+			p.Sleep(time.Millisecond)
+		}
+	})
+	env.Run(0)
+	if got := len(env.free); got > 16 {
+		t.Errorf("free list grew to %d entries for a single-proc ticker", got)
+	}
+}
+
+// BenchmarkKernelSleepCycle measures the hot dispatch loop in isolation: one
+// process sleeping in a tight loop is one calendar push + pop + a wake/yield
+// handoff per iteration. The entry pool should keep this allocation-free
+// after warm-up.
+func BenchmarkKernelSleepCycle(b *testing.B) {
+	env := NewEnv(1)
+	stop := make(chan struct{})
+	env.Go("sleeper", func(p *Proc) {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	env.Run(time.Duration(b.N) * time.Microsecond)
+	b.StopTimer()
+	close(stop)
+	env.Run(2 * time.Microsecond) // let the sleeper observe stop and exit
+}
+
+// BenchmarkLinkReallocate measures the fluid-flow waterfill under a steady
+// population of concurrent flows — the second-hottest path in simulated
+// experiments.
+func BenchmarkLinkReallocate(b *testing.B) {
+	env := NewEnv(1)
+	link := env.NewLink("bench", 1e9)
+	for i := 0; i < 50; i++ {
+		link.StartFlow(1e12, 1e6) // long-lived capped flows
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		link.reallocate()
+	}
+}

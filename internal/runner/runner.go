@@ -1,0 +1,129 @@
+// Package runner is a deterministic bounded worker pool for independent
+// simulation jobs.
+//
+// The §5 population studies run ~1,300 single-site MFC experiments, each on
+// its own netsim.Env with a seed derived from the site index alone. The jobs
+// share nothing, so they can run on any number of OS threads — as long as
+// the *aggregation* of their results stays in index order, the output is
+// byte-identical to a sequential loop regardless of scheduling. Map and
+// ForEach encode exactly that contract: fn(i) must depend only on i, results
+// land in slot i, and callers fold the slice in order.
+//
+// Concurrency is bounded (default GOMAXPROCS), the context cancels stragglers,
+// and the error for the lowest failing index is the one propagated, so a
+// parallel run reports the same failure a sequential run would have hit first.
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+type config struct {
+	workers int
+}
+
+// Option configures a Map or ForEach call.
+type Option func(*config)
+
+// Workers bounds the pool at n concurrent jobs. n <= 0 (and the absence of
+// this option) means runtime.GOMAXPROCS(0).
+func Workers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on a bounded worker pool and
+// waits for completion. Jobs are claimed in index order but may finish in any
+// order; fn must therefore not depend on the progress of other indices.
+//
+// If any fn returns an error the context passed to the jobs is canceled,
+// in-flight jobs are awaited, and the error with the lowest index is
+// returned — the same error a sequential loop over [0, n) would have
+// returned first. If the parent context is canceled, ForEach stops claiming
+// new indices and returns ctx.Err().
+func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error, opts ...Option) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstIdx = n // lowest failing index seen so far
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		// A job surfacing our own cancellation (jobCtx canceled by an
+		// earlier failure, parent still live) is a casualty, not a cause:
+		// recording it could mask the real error under a lower index.
+		if errors.Is(err, context.Canceled) && jobCtx.Err() != nil && ctx.Err() == nil {
+			return
+		}
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel() // first error stops the pool from claiming more work
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || jobCtx.Err() != nil {
+					return
+				}
+				if err := fn(jobCtx, i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on a bounded worker pool and
+// returns the results indexed by i. Because each result lands in its own
+// slot, folding the returned slice front to back reproduces the sequential
+// loop's aggregation exactly, whatever the scheduling was. On error the
+// semantics are those of ForEach and the results are discarded.
+func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error), opts ...Option) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPlacesResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		got, err := Map(context.Background(), 100, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		}, Workers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	got, err := Map(context.Background(), 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	err := ForEach(context.Background(), 64, func(_ context.Context, i int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return nil
+	}, Workers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds bound %d", p, workers)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	// Indices 3 and 7 fail; whatever order the pool ran them in, the
+	// reported error must be index 3's — the one a sequential loop hits.
+	for trial := 0; trial < 20; trial++ {
+		err := ForEach(context.Background(), 16, func(_ context.Context, i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		}, Workers(8))
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("trial %d: err = %v, want job 3 failed", trial, err)
+		}
+	}
+}
+
+func TestForEachErrorCancelsRemainingJobs(t *testing.T) {
+	var started atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 10_000, func(_ context.Context, i int) error {
+		started.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	}, Workers(2))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := started.Load(); n >= 10_000 {
+		t.Errorf("all %d jobs ran despite early error", n)
+	}
+}
+
+// A job that blocks on ctx and returns ctx.Err() after another job's real
+// failure must not have its context.Canceled win the lowest-index race.
+func TestRealErrorNotMaskedByCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	err := ForEach(context.Background(), 2, func(ctx context.Context, i int) error {
+		if i == 0 {
+			close(started)
+			<-ctx.Done() // released by job 1's failure canceling the pool
+			return ctx.Err()
+		}
+		<-started
+		return boom
+	}, Workers(2))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the real failure, not the cancellation echo", err)
+	}
+}
+
+func TestForEachParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	errc := make(chan error, 1)
+	go func() {
+		errc <- ForEach(ctx, 1_000_000, func(ctx context.Context, i int) error {
+			if ran.Add(1) == 5 {
+				cancel() // cancel mid-run from inside a job
+			}
+			return nil
+		}, Workers(2))
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ForEach did not return after cancellation")
+	}
+	if n := ran.Load(); n >= 1_000_000 {
+		t.Errorf("all jobs ran despite cancellation (%d)", n)
+	}
+}
+
+func TestForEachPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEach(ctx, 100, func(_ context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n == 100 {
+		t.Error("every job ran under a pre-canceled context")
+	}
+}
+
+func TestMapDiscardsResultsOnError(t *testing.T) {
+	got, err := Map(context.Background(), 4, func(_ context.Context, i int) (int, error) {
+		if i == 2 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	}, Workers(1))
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got != nil {
+		t.Fatalf("got = %v, want nil on error", got)
+	}
+}
+
+// The documented contract: with fn depending only on its index, worker count
+// must not change the result.
+func TestWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) []int {
+		out, err := Map(context.Background(), 500, func(_ context.Context, i int) (int, error) {
+			return i*31 + 7, nil
+		}, Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	base := run(1)
+	for _, w := range []int{2, 8, 32} {
+		got := run(w)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d diverged at %d", w, i)
+			}
+		}
+	}
+}
