@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-short experiments ci
+.PHONY: build test race vet fmt-check bench bench-short bench-check experiments campaign-smoke ci
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,7 @@ test:
 # Race coverage on the packages that own concurrency: the worker pool, the
 # DES kernel it drives, and the experiments layer that fans out on it.
 race:
-	$(GO) test -race ./internal/runner ./internal/netsim ./internal/experiments
+	$(GO) test -race ./internal/runner ./internal/netsim ./internal/experiments ./internal/campaign
 
 vet:
 	$(GO) vet ./...
@@ -28,7 +28,27 @@ bench:
 bench-short:
 	$(GO) run ./cmd/mfc-bench -short -out BENCH_results.json
 
+# Trend check: rerun the fast benchmarks and fail on >25% regression in
+# ns/op or allocs/op against the committed baseline.
+bench-check:
+	$(GO) run ./cmd/mfc-bench -short -out /tmp/bench-fresh.json \
+		-against BENCH_results.json -tolerance 0.25
+
 experiments:
 	$(GO) run ./cmd/mfc-experiments
+
+# Kill + resume determinism check, the same sequence CI runs.
+campaign-smoke:
+	$(GO) build -o /tmp/mfc-campaign ./cmd/mfc-campaign
+	rm -rf /tmp/camp-clean /tmp/camp-killed
+	/tmp/mfc-campaign plan -dir /tmp/camp-clean -bands rank-1K-10K -stages base,query -sites 40 -seed 7
+	/tmp/mfc-campaign run -dir /tmp/camp-clean -quiet
+	/tmp/mfc-campaign report -dir /tmp/camp-clean > /tmp/report-clean.txt
+	/tmp/mfc-campaign plan -dir /tmp/camp-killed -bands rank-1K-10K -stages base,query -sites 40 -seed 7
+	/tmp/mfc-campaign run -dir /tmp/camp-killed -halt-after 15 -quiet
+	/tmp/mfc-campaign resume -dir /tmp/camp-killed -quiet
+	/tmp/mfc-campaign report -dir /tmp/camp-killed > /tmp/report-killed.txt
+	diff /tmp/report-clean.txt /tmp/report-killed.txt
+	@echo "kill+resume report is byte-identical"
 
 ci: build vet fmt-check test race

@@ -8,6 +8,9 @@
 //	mfc-bench                 # full set -> BENCH_results.json
 //	mfc-bench -short          # skip the slow population benchmarks
 //	mfc-bench -out results.json
+//	mfc-bench -against BENCH_results.json -tolerance 0.25
+//	                          # trend check: fail if any benchmark regressed
+//	                          # >25% in ns/op or allocs/op vs the baseline
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -146,12 +150,53 @@ type report struct {
 	Results    []result `json:"results"`
 }
 
+// checkTrend compares the fresh results against a committed baseline and
+// returns one line per regression beyond the tolerance. ns/op catches raw
+// slowdowns but is only meaningful against a baseline from comparable
+// hardware; allocs/op is machine-independent and catches allocation
+// regressions exactly (CI gates on allocs alone for that reason — see
+// -check). Only benchmarks present in both reports are compared, so
+// -short runs check against a full baseline fine.
+func checkTrend(baseline report, fresh []result, tolerance float64, checkNs, checkAllocs bool) []string {
+	base := make(map[string]result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var regressions []string
+	for _, r := range fresh {
+		b, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		if checkNs && b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.2f ms/op vs baseline %.2f ms/op (+%.0f%%)",
+				r.Name, r.NsPerOp/1e6, b.NsPerOp/1e6, 100*(r.NsPerOp/b.NsPerOp-1)))
+		}
+		if checkAllocs && b.AllocsPerOp > 0 && float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d (+%.0f%%)",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp,
+				100*(float64(r.AllocsPerOp)/float64(b.AllocsPerOp)-1)))
+		}
+	}
+	return regressions
+}
+
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_results.json", "output path")
-		short = flag.Bool("short", false, "skip the slow population benchmarks")
+		out       = flag.String("out", "BENCH_results.json", "output path")
+		short     = flag.Bool("short", false, "skip the slow population benchmarks")
+		against   = flag.String("against", "", "baseline BENCH_results.json to trend-check against")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional regression for -against")
+		check     = flag.String("check", "ns,allocs", "metrics -against compares: ns, allocs, or ns,allocs (use allocs alone when the baseline is from different hardware)")
 	)
 	flag.Parse()
+	checkNs := strings.Contains(*check, "ns")
+	checkAllocs := strings.Contains(*check, "allocs")
+	if *against != "" && !checkNs && !checkAllocs {
+		log.Fatalf("-check %q selects no metrics (want ns, allocs, or ns,allocs)", *check)
+	}
 
 	rep := report{
 		GoVersion:  runtime.Version(),
@@ -200,4 +245,23 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(rep.Results))
+
+	if *against != "" {
+		raw, err := os.ReadFile(*against)
+		if err != nil {
+			log.Fatalf("trend check: %v", err)
+		}
+		var baseline report
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			log.Fatalf("trend check: corrupt baseline %s: %v", *against, err)
+		}
+		if regressions := checkTrend(baseline, rep.Results, *tolerance, checkNs, checkAllocs); len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "REGRESSIONS vs %s (tolerance %.0f%%):\n", *against, *tolerance*100)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trend check vs %s passed (tolerance %.0f%%)\n", *against, *tolerance*100)
+	}
 }

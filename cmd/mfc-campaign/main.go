@@ -1,0 +1,209 @@
+// Command mfc-campaign plans, runs, resumes and reports durable
+// measurement campaigns: §5-style population studies at 10k+ sites, with
+// every completed site streamed to an append-only sharded result store so
+// a killed campaign resumes where it stopped and reports identically.
+//
+// Usage:
+//
+//	mfc-campaign plan   -dir DIR -bands all|b1,b2 -stages base,query,large -sites N [-seed S] [-name NAME]
+//	mfc-campaign run    -dir DIR [-workers N] [-halt-after N] [-quiet]
+//	mfc-campaign resume -dir DIR [-workers N] [-quiet]
+//	mfc-campaign report -dir DIR
+//
+// `resume` is `run` with a guard that the campaign already has stored
+// results; both skip every job that already holds a record. The report is
+// byte-identical however many times the campaign was interrupted.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"mfc/internal/campaign"
+	"mfc/internal/core"
+	"mfc/internal/population"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "plan":
+		err = cmdPlan(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:], false)
+	case "resume":
+		err = cmdRun(os.Args[2:], true)
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "mfc-campaign: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mfc-campaign: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  mfc-campaign plan   -dir DIR -bands all|b1,b2,... -stages base,query,large -sites N [-seed S] [-name NAME]
+  mfc-campaign run    -dir DIR [-workers N] [-halt-after N] [-quiet]
+  mfc-campaign resume -dir DIR [-workers N] [-quiet]
+  mfc-campaign report -dir DIR
+
+bands:  all, `+strings.Join(bandNames(), ", ")+`
+stages: base, query, large`)
+}
+
+func bandNames() []string {
+	names := make([]string, len(population.Bands))
+	for i, b := range population.Bands {
+		names[i] = b.String()
+	}
+	return names
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	var (
+		dir    = fs.String("dir", "", "campaign directory (created)")
+		bands  = fs.String("bands", "all", "comma-separated band names, or 'all'")
+		stages = fs.String("stages", "base", "comma-separated stages: base, query, large")
+		sites  = fs.Int("sites", 100, "sites per band x stage cell")
+		seed   = fs.Int64("seed", 1, "campaign seed (with band and site index, determines every job)")
+		name   = fs.String("name", "", "campaign name (default: derived from the matrix)")
+	)
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("plan: -dir is required")
+	}
+
+	bl, err := parseBands(*bands)
+	if err != nil {
+		return err
+	}
+	sl, err := parseStages(*stages)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		*name = fmt.Sprintf("%dband-%dstage-%dsites", len(bl), len(sl), *sites)
+	}
+	plan, err := campaign.NewPlan(*name, bl, sl, *sites, *seed)
+	if err != nil {
+		return err
+	}
+	if err := plan.Save(*dir); err != nil {
+		return err
+	}
+	fmt.Printf("planned campaign %q in %s: %d cells x %d sites = %d jobs over %d result shards\n",
+		plan.Name, *dir, len(plan.Cells), plan.Sites, plan.Jobs(), plan.Shards())
+	return nil
+}
+
+func parseBands(s string) ([]population.Band, error) {
+	if s == "all" {
+		return population.Bands, nil
+	}
+	var out []population.Band
+	for _, name := range strings.Split(s, ",") {
+		b, err := population.ParseBand(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func parseStages(s string) ([]core.Stage, error) {
+	var out []core.Stage
+	for _, name := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "base":
+			out = append(out, core.StageBase)
+		case "query", "smallquery":
+			out = append(out, core.StageSmallQuery)
+		case "large", "largeobject":
+			out = append(out, core.StageLargeObject)
+		default:
+			return nil, fmt.Errorf("unknown stage %q (want base, query or large)", name)
+		}
+	}
+	return out, nil
+}
+
+func cmdRun(args []string, resume bool) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		dir       = fs.String("dir", "", "campaign directory (must hold plan.json)")
+		workers   = fs.Int("workers", 0, "worker bound (0 = GOMAXPROCS)")
+		haltAfter = fs.Int("halt-after", 0, "stop cleanly after N new completions (testing/CI)")
+		quiet     = fs.Bool("quiet", false, "suppress the live progress line")
+	)
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("run: -dir is required")
+	}
+	if resume {
+		// A killed campaign may die before its first checkpoint manifest,
+		// so the only thing resume can insist on is the plan itself.
+		if _, err := campaign.LoadPlan(*dir); err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+	}
+
+	opts := campaign.Options{Workers: *workers, HaltAfter: *haltAfter}
+	var lastLine atomic.Int64
+	if !*quiet {
+		start := time.Now()
+		opts.Progress = func(done, total int) {
+			// Throttle to ~10 lines/sec; the final completion always prints.
+			now := time.Now().UnixMilli()
+			last := lastLine.Load()
+			if done < total && (now-last < 100 || !lastLine.CompareAndSwap(last, now)) {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "\r%d/%d sites (%.1f%%) %.0fs elapsed ",
+				done, total, 100*float64(done)/float64(total), time.Since(start).Seconds())
+		}
+	}
+	st, err := campaign.Run(context.Background(), *dir, opts)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return err
+	}
+	verb := "completed"
+	if st.Halted {
+		verb = "halted"
+	}
+	fmt.Printf("%s: %d/%d jobs done (%d skipped as already complete, %d new, %d errored)\n",
+		verb, st.Done(), st.Total, st.AlreadyDone, st.NewlyDone, st.Errored)
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	dir := fs.String("dir", "", "campaign directory")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("report: -dir is required")
+	}
+	return campaign.Report(*dir, os.Stdout)
+}

@@ -1,0 +1,260 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mfc/internal/content"
+	"mfc/internal/core"
+	"mfc/internal/netsim"
+	"mfc/internal/population"
+	"mfc/internal/runner"
+	"mfc/internal/websim"
+)
+
+// Options tunes one Run invocation (never the campaign's results — those
+// are fixed by the plan).
+type Options struct {
+	// Workers bounds this call's pool; 0 means GOMAXPROCS. Workers draw
+	// from the process-wide runner budget (runner.Shared), so a campaign
+	// can run alongside experiment sweeps without over-subscribing.
+	Workers int
+	// CheckpointEvery writes the manifest after this many new completions
+	// (default 64; the final manifest is always written).
+	CheckpointEvery int
+	// HaltAfter stops claiming new jobs once this many new completions
+	// have landed (0 = run to completion). In-flight jobs finish and are
+	// stored. This is how tests and CI simulate a killed campaign
+	// deterministically; a real kill -9 is also safe, it just loses the
+	// in-flight jobs.
+	HaltAfter int
+	// Progress, when non-nil, observes (done, total) after every
+	// completion. Called from pool workers; must be cheap and
+	// concurrency-safe.
+	Progress func(done, total int)
+}
+
+// Status summarizes one Run invocation.
+type Status struct {
+	Total       int  // jobs in the plan
+	AlreadyDone int  // completed before this run (resume skip)
+	NewlyDone   int  // completed by this run
+	Errored     int  // of NewlyDone, jobs whose measurement failed
+	Halted      bool // stopped early by HaltAfter
+}
+
+// Done is the campaign's overall completion count after this run.
+func (st *Status) Done() int { return st.AlreadyDone + st.NewlyDone }
+
+// Run executes (or resumes) the campaign in dir: it scans the result store
+// for jobs that already hold a record, runs every remaining job on the
+// shared pool, and streams each completed site's result to the store. A
+// measurement error is recorded and counted, never fatal to the campaign.
+// Run returns early with ctx's error if the context is canceled.
+func Run(ctx context.Context, dir string, opts Options) (*Status, error) {
+	plan, err := LoadPlan(dir)
+	if err != nil {
+		return nil, err
+	}
+	store, err := OpenStore(dir, plan.ShardJobs)
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+
+	total := plan.Jobs()
+	completed, err := store.Completed(total)
+	if err != nil {
+		return nil, err
+	}
+	pending := make([]int, 0, total-len(completed))
+	for j := 0; j < total; j++ {
+		if !completed[j] {
+			pending = append(pending, j)
+		}
+	}
+	// The checkpoint counts are maintained incrementally from the initial
+	// scan — checkpointing must not rescan (and re-decode) the whole store
+	// every 64 completions. ckpt.mu also serializes manifest writes: two
+	// workers crossing checkpoints concurrently would race on the
+	// manifest's temp file.
+	ckpt := checkpointState{
+		dir: dir, plan: plan,
+		perShard: make([]int, plan.Shards()),
+		done:     len(completed),
+	}
+	for j := range completed {
+		ckpt.perShard[plan.ShardOf(j)]++
+	}
+
+	st := &Status{Total: total, AlreadyDone: len(completed)}
+	if len(pending) == 0 {
+		return st, ckpt.write()
+	}
+
+	checkpointEvery := opts.CheckpointEvery
+	if checkpointEvery <= 0 {
+		checkpointEvery = 64
+	}
+
+	// HaltAfter cancels the job context once enough new completions have
+	// landed; the pool then stops claiming indexes and drains.
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		newly   atomic.Int64
+		errored atomic.Int64
+	)
+	runErr := runner.ForEach(jobCtx, len(pending), func(_ context.Context, i int) error {
+		job := pending[i]
+		rec := measureJob(plan, job)
+		if err := store.Append(rec); err != nil {
+			return err // a dead store is fatal: nothing can be recorded
+		}
+		if rec.Err != "" {
+			errored.Add(1)
+		}
+		n := newly.Add(1)
+		if opts.Progress != nil {
+			opts.Progress(st.AlreadyDone+int(n), total)
+		}
+		if opts.HaltAfter > 0 && int(n) >= opts.HaltAfter {
+			cancel()
+		}
+		return ckpt.jobDone(job, checkpointEvery)
+	}, runner.Workers(opts.Workers), runner.Shared())
+
+	st.NewlyDone = int(newly.Load())
+	st.Errored = int(errored.Load())
+	if runErr != nil {
+		// A clean HaltAfter stop surfaces as exactly the cancellation our
+		// own cancel() caused; anything else — a store failure, a parent
+		// cancellation — is a real error and must not be swallowed.
+		if errors.Is(runErr, context.Canceled) && ctx.Err() == nil &&
+			opts.HaltAfter > 0 && int(newly.Load()) >= opts.HaltAfter {
+			st.Halted = true
+		} else {
+			return st, runErr
+		}
+	}
+	return st, ckpt.write()
+}
+
+// checkpointState tracks completion counts incrementally and owns the
+// manifest: all mutation and every write happens under mu, so checkpoints
+// are O(1) in campaign size and never race on the manifest file.
+type checkpointState struct {
+	mu       sync.Mutex
+	dir      string
+	plan     *Plan
+	perShard []int
+	done     int
+	sinceCkp int
+}
+
+// jobDone folds one completion in and writes the manifest every
+// checkpointEvery completions.
+func (c *checkpointState) jobDone(job, checkpointEvery int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.perShard[c.plan.ShardOf(job)]++
+	c.done++
+	c.sinceCkp++
+	if c.sinceCkp < checkpointEvery {
+		return nil
+	}
+	c.sinceCkp = 0
+	return c.writeLocked()
+}
+
+// write atomically replaces the manifest with the current counts.
+func (c *checkpointState) write() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writeLocked()
+}
+
+func (c *checkpointState) writeLocked() error {
+	m := &Manifest{
+		Plan:     c.plan.Name,
+		Total:    c.plan.Jobs(),
+		Done:     c.done,
+		PerShard: append([]int(nil), c.perShard...),
+	}
+	return WriteManifest(c.dir, m)
+}
+
+// measureJob runs job j of the plan: generate the site in O(1) from its
+// index, simulate one single-stage MFC against it, and package the
+// outcome. Everything is derived from (plan, j); errors are captured in
+// the record.
+func measureJob(plan *Plan, j int) *Record {
+	cell := plan.Cells[plan.CellOf(j)]
+	band, _ := population.ParseBand(cell.Band) // validated at load
+	stage, _ := ParseStage(cell.Stage)         // validated at load
+	sample := population.SampleAt(band, plan.SiteOf(j), plan.Seed)
+
+	rec := &Record{Job: j, Site: sample.Name, Band: cell.Band, Stage: cell.Stage}
+	sr, err := measureSample(plan, stage, sample)
+	if err != nil {
+		rec.Verdict = "Error"
+		rec.Err = err.Error()
+		return rec
+	}
+	rec.Verdict = sr.Verdict.String()
+	rec.Stop = sr.StoppingCrowd
+	rec.FirstExceed = sr.FirstExceed
+	rec.Requests = sr.TotalRequests
+	rec.SimElapsedNs = int64(sr.Elapsed)
+	rec.Result = &core.Result{Target: sample.Name, Stages: []*core.StageResult{sr}}
+	return rec
+}
+
+// measureSample is the single-site, single-stage measurement §5 performs:
+// standard MFC at the plan's θ/step/ceiling against a fresh simulated
+// deployment of the sampled server.
+func measureSample(plan *Plan, stage core.Stage, sample population.SiteSample) (res *core.StageResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("campaign: measuring %s: panic: %v", sample.Name, r)
+		}
+	}()
+	env := netsim.NewEnv(sample.MeasureSeed)
+	server := websim.NewServer(env, sample.Config, sample.Site)
+	specs := core.PlanetLabSpecs(env, plan.Clients)
+	plat := core.NewSimPlatform(env, server, specs)
+	prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: sample.Site},
+		sample.Site.Host, sample.Site.Base, content.CrawlConfig{})
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Threshold = plan.Threshold()
+	cfg.Step = plan.Step
+	cfg.MaxCrowd = plan.MaxCrowd
+	cfg.MinClients = plan.MinClients
+
+	var sr *core.StageResult
+	env.Go("coordinator", func(p *netsim.Proc) {
+		plat.Bind(p)
+		coord := core.NewCoordinator(plat, cfg, nil)
+		if err := coord.Register(); err != nil {
+			panic(err)
+		}
+		sr = coord.RunStage(stage, prof)
+	})
+	env.Run(0)
+	if sr == nil {
+		return nil, fmt.Errorf("campaign: %s produced no stage result", sample.Name)
+	}
+	return sr, nil
+}
+
+// SimElapsed returns the record's simulated duration.
+func (r *Record) SimElapsed() time.Duration { return time.Duration(r.SimElapsedNs) }

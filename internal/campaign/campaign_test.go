@@ -1,0 +1,195 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mfc/internal/core"
+	"mfc/internal/population"
+)
+
+// testPlan is a small two-cell matrix that still crosses a shard boundary
+// (ShardJobs 5 over 12 jobs -> 3 shard files).
+func testPlan(t *testing.T, dir string) *Plan {
+	t.Helper()
+	plan, err := NewPlan("test-campaign",
+		[]population.Band{population.Rank1M, population.Phishing},
+		[]core.Stage{core.StageBase}, 6, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.ShardJobs = 5
+	if err := plan.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func runToCompletion(t *testing.T, dir string, opts Options) *Status {
+	t.Helper()
+	st, err := Run(context.Background(), dir, opts)
+	if err != nil {
+		t.Fatalf("run in %s: %v", dir, err)
+	}
+	return st
+}
+
+func reportOf(t *testing.T, dir string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Report(dir, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// The acceptance contract: a campaign killed mid-run and resumed produces a
+// byte-identical aggregate report to the same campaign run uninterrupted,
+// and worker count changes nothing either.
+func TestResumeReportByteIdentical(t *testing.T) {
+	clean := t.TempDir()
+	testPlan(t, clean)
+	st := runToCompletion(t, clean, Options{Workers: 1})
+	if st.NewlyDone != st.Total || st.Errored != 0 {
+		t.Fatalf("clean run: %+v", st)
+	}
+	want := reportOf(t, clean)
+	if !strings.Contains(want, "12 jobs, 12 done") {
+		t.Fatalf("unexpected report header:\n%s", want)
+	}
+
+	// Same plan, killed after 4 completions, then resumed — with a
+	// different worker count for good measure.
+	resumed := t.TempDir()
+	testPlan(t, resumed)
+	st1, err := Run(context.Background(), resumed, Options{Workers: 2, HaltAfter: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st1.Halted || st1.NewlyDone < 4 || st1.NewlyDone >= st1.Total {
+		t.Fatalf("halted run: %+v", st1)
+	}
+	if got := reportOf(t, resumed); !strings.Contains(got, "INCOMPLETE") {
+		t.Fatalf("partial report not marked incomplete:\n%s", got)
+	}
+	st2 := runToCompletion(t, resumed, Options{Workers: 4})
+	if st2.AlreadyDone != st1.NewlyDone || st2.Done() != st2.Total {
+		t.Fatalf("resume did not skip completed jobs: %+v then %+v", st1, st2)
+	}
+	if got := reportOf(t, resumed); got != want {
+		t.Errorf("resumed report differs from uninterrupted run:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+
+	// Resuming a finished campaign is a no-op.
+	st3 := runToCompletion(t, resumed, Options{})
+	if st3.NewlyDone != 0 || st3.AlreadyDone != st3.Total {
+		t.Fatalf("no-op resume: %+v", st3)
+	}
+}
+
+// A torn trailing line (kill mid-append) must be ignored, the job rerun on
+// resume, and the final report unaffected.
+func TestTornWriteIsRepairedOnResume(t *testing.T) {
+	dir := t.TempDir()
+	plan := testPlan(t, dir)
+	runToCompletion(t, dir, Options{})
+	want := reportOf(t, dir)
+
+	// Tear the last record of shard 0: drop its trailing bytes.
+	path := filepath.Join(dir, "shards", "shard-0000.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := OpenStore(dir, plan.ShardJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := store.Completed(plan.Jobs())
+	store.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != plan.Jobs()-1 {
+		t.Fatalf("torn line not dropped: %d of %d jobs marked done", len(done), plan.Jobs())
+	}
+
+	st := runToCompletion(t, dir, Options{})
+	if st.NewlyDone != 1 {
+		t.Fatalf("resume after tear reran %d jobs, want 1", st.NewlyDone)
+	}
+	if got := reportOf(t, dir); got != want {
+		t.Errorf("report after torn-write repair differs:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+}
+
+// The checkpoint manifest must exist after a run and agree with the store.
+func TestManifestCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	plan := testPlan(t, dir)
+	runToCompletion(t, dir, Options{CheckpointEvery: 3})
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Plan != plan.Name || m.Total != plan.Jobs() || m.Done != plan.Jobs() {
+		t.Fatalf("manifest %+v disagrees with plan (%d jobs)", m, plan.Jobs())
+	}
+	sum := 0
+	for _, n := range m.PerShard {
+		sum += n
+	}
+	if len(m.PerShard) != plan.Shards() || sum != m.Done {
+		t.Fatalf("per-shard counts %v do not sum to %d", m.PerShard, m.Done)
+	}
+}
+
+// Saving a plan is idempotent, but replacing a campaign's plan is refused:
+// the plan is the store's identity.
+func TestPlanSaveRefusesReplacement(t *testing.T) {
+	dir := t.TempDir()
+	plan := testPlan(t, dir)
+	if err := plan.Save(dir); err != nil {
+		t.Fatalf("idempotent re-save failed: %v", err)
+	}
+	other := *plan
+	other.Seed++
+	if err := other.Save(dir); err == nil {
+		t.Fatal("replacing an existing plan was allowed")
+	}
+}
+
+// Job addressing must partition the matrix exactly.
+func TestPlanJobAddressing(t *testing.T) {
+	plan := DefaultPlan()
+	plan.Name, plan.Seed, plan.Sites = "addr", 1, 7
+	plan.ShardJobs = 4
+	plan.Cells = []Cell{
+		{Band: population.Rank1K.String(), Stage: core.StageBase.String()},
+		{Band: population.Startup.String(), Stage: core.StageSmallQuery.String()},
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Jobs() != 14 || plan.Shards() != 4 {
+		t.Fatalf("jobs=%d shards=%d", plan.Jobs(), plan.Shards())
+	}
+	var perCell [2]int
+	for j := 0; j < plan.Jobs(); j++ {
+		perCell[plan.CellOf(j)]++
+		if s := plan.SiteOf(j); s < 0 || s >= plan.Sites {
+			t.Fatalf("job %d maps to site %d", j, s)
+		}
+	}
+	if perCell[0] != 7 || perCell[1] != 7 {
+		t.Fatalf("cells unevenly addressed: %v", perCell)
+	}
+}

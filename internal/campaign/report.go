@@ -1,0 +1,221 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mfc/internal/stats"
+)
+
+// bucketLabels are the §5 stopping-size buckets (Figures 7–9).
+var bucketLabels = []string{"10-20", "20-30", "30-40", "40-50", "NoStop"}
+
+// bucketOf maps a stopping size (0 = no stop) to a §5 bucket index.
+func bucketOf(stop int) int {
+	switch {
+	case stop == 0:
+		return 4
+	case stop <= 20:
+		return 0
+	case stop <= 30:
+		return 1
+	case stop <= 40:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// verdictNames indexes CellSummary.Verdicts; Error is the engine's own
+// verdict for failed measurements.
+var verdictNames = []string{"Stopped", "NoStop", "Unavailable", "Aborted", "Error"}
+
+// CellSummary is one cell's mergeable aggregate: everything the report
+// prints, foldable record by record and shard by shard, so a 10k-site cell
+// never needs its records co-resident in memory.
+type CellSummary struct {
+	N        int           `json:"n"` // records folded in
+	Verdicts []int64       `json:"verdicts"`
+	Buckets  []int64       `json:"buckets"` // §5 stopping-size histogram, measured sites only
+	Stops    stats.IntHist `json:"stops"`   // confirmed stopping crowds
+	Requests stats.Running `json:"requests"`
+	SimTime  stats.Running `json:"sim_time_s"`
+}
+
+func newCellSummary() *CellSummary {
+	return &CellSummary{Verdicts: make([]int64, len(verdictNames)), Buckets: make([]int64, len(bucketLabels))}
+}
+
+// add folds one record in.
+func (c *CellSummary) add(rec *Record) {
+	c.N++
+	vi := len(verdictNames) - 1 // unknown verdicts count as Error
+	for i, name := range verdictNames {
+		if rec.Verdict == name {
+			vi = i
+			break
+		}
+	}
+	c.Verdicts[vi]++
+	switch rec.Verdict {
+	case "Stopped":
+		c.Buckets[bucketOf(rec.Stop)]++
+		c.Stops.Add(rec.Stop)
+	case "NoStop":
+		c.Buckets[bucketOf(0)]++
+	}
+	if rec.Err == "" {
+		c.Requests.Add(float64(rec.Requests))
+		c.SimTime.Add(rec.SimElapsed().Seconds())
+	}
+}
+
+// Merge folds another cell summary in.
+func (c *CellSummary) Merge(o *CellSummary) {
+	c.N += o.N
+	for i := range c.Verdicts {
+		c.Verdicts[i] += o.Verdicts[i]
+	}
+	for i := range c.Buckets {
+		c.Buckets[i] += o.Buckets[i]
+	}
+	c.Stops.Merge(&o.Stops)
+	c.Requests.Merge(o.Requests)
+	c.SimTime.Merge(o.SimTime)
+}
+
+// Measured is the number of sites whose stage ran to a verdict.
+func (c *CellSummary) Measured() int64 { return c.Verdicts[0] + c.Verdicts[1] }
+
+// StoppedFraction is the share of measured sites with a confirmed stop.
+func (c *CellSummary) StoppedFraction() float64 {
+	if m := c.Measured(); m > 0 {
+		return float64(c.Verdicts[0]) / float64(m)
+	}
+	return 0
+}
+
+// Summary is a whole campaign's mergeable aggregate, cells indexed as in
+// the plan.
+type Summary struct {
+	Cells []*CellSummary
+	Done  int
+}
+
+func newSummary(plan *Plan) *Summary {
+	s := &Summary{Cells: make([]*CellSummary, len(plan.Cells))}
+	for i := range s.Cells {
+		s.Cells[i] = newCellSummary()
+	}
+	return s
+}
+
+// Merge folds another summary (same plan) in.
+func (s *Summary) Merge(o *Summary) {
+	for i := range s.Cells {
+		s.Cells[i].Merge(o.Cells[i])
+	}
+	s.Done += o.Done
+}
+
+// summarizeShard folds one shard's records into a fresh summary. Records
+// are visited in job order with duplicates dropped (a job's record is
+// unique by construction, and deterministic even if written twice), so the
+// fold's result depends only on WHICH jobs are done — never on completion
+// order or interruption history.
+func summarizeShard(plan *Plan, recs []Record) *Summary {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Job < recs[j].Job })
+	s := newSummary(plan)
+	lastJob := -1
+	for i := range recs {
+		if recs[i].Job == lastJob {
+			continue
+		}
+		lastJob = recs[i].Job
+		s.Cells[plan.CellOf(recs[i].Job)].add(&recs[i])
+		s.Done++
+	}
+	return s
+}
+
+// Summarize streams the whole store shard by shard — memory stays
+// O(ShardJobs) — merging per-shard summaries in shard order.
+func Summarize(dir string) (*Plan, *Summary, error) {
+	plan, err := LoadPlan(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	store, err := OpenStore(dir, plan.ShardJobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer store.Close()
+
+	total := newSummary(plan)
+	for k := 0; k < plan.Shards(); k++ {
+		recs, err := store.readShard(k, plan.Jobs())
+		if err != nil {
+			return nil, nil, err
+		}
+		total.Merge(summarizeShard(plan, recs))
+	}
+	return plan, total, nil
+}
+
+// Report renders the campaign's aggregate report to w. The bytes are a
+// pure function of (plan, set of completed jobs): an interrupted-and-
+// resumed campaign prints exactly what an uninterrupted one does.
+func Report(dir string, w io.Writer) error {
+	plan, sum, err := Summarize(dir)
+	if err != nil {
+		return err
+	}
+	return renderReport(w, plan, sum)
+}
+
+func renderReport(w io.Writer, plan *Plan, sum *Summary) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign %q seed=%d: %d cells x %d sites = %d jobs, %d done\n",
+		plan.Name, plan.Seed, len(plan.Cells), plan.Sites, plan.Jobs(), sum.Done)
+	if sum.Done < plan.Jobs() {
+		fmt.Fprintf(&b, "INCOMPLETE: %d jobs outstanding (resume to finish)\n", plan.Jobs()-sum.Done)
+	}
+	fmt.Fprintf(&b, "theta=%v step=%d max-crowd=%d clients=%d\n\n",
+		plan.Threshold(), plan.Step, plan.MaxCrowd, plan.Clients)
+
+	for ci, cell := range plan.Cells {
+		c := sum.Cells[ci]
+		fmt.Fprintf(&b, "cell %s/%s: n=%d measured=%d\n", cell.Band, cell.Stage, c.N, c.Measured())
+		if c.N == 0 {
+			continue
+		}
+		b.WriteString("  verdicts:")
+		for i, name := range verdictNames {
+			if c.Verdicts[i] > 0 || i < 2 {
+				fmt.Fprintf(&b, " %s=%d", name, c.Verdicts[i])
+			}
+		}
+		b.WriteByte('\n')
+		b.WriteString("  buckets:")
+		for i, lbl := range bucketLabels {
+			fmt.Fprintf(&b, " %s=%d", lbl, c.Buckets[i])
+		}
+		fmt.Fprintf(&b, "\n  stopped=%.1f%%", c.StoppedFraction()*100)
+		if c.Stops.N > 0 {
+			p50, _ := c.Stops.Quantile(0.5)
+			p90, _ := c.Stops.Quantile(0.9)
+			fmt.Fprintf(&b, " stop-p50=%.1f stop-p90=%.1f", p50, p90)
+		}
+		b.WriteByte('\n')
+		if c.Requests.N > 0 {
+			fmt.Fprintf(&b, "  requests/site: mean=%.1f min=%.0f max=%.0f\n",
+				c.Requests.Mean(), c.Requests.Min, c.Requests.Max)
+			fmt.Fprintf(&b, "  sim-time/site: mean=%.1fs max=%.1fs\n",
+				c.SimTime.Mean(), c.SimTime.Max)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,211 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mfc/internal/core"
+)
+
+// Record is one completed job, one JSONL line in its shard file. The
+// compact fields are what the aggregate report consumes; Result carries
+// the full per-epoch data for offline analysis.
+type Record struct {
+	Job   int    `json:"job"`
+	Site  string `json:"site"`
+	Band  string `json:"band"`
+	Stage string `json:"stage"`
+
+	Verdict      string `json:"verdict"`
+	Stop         int    `json:"stop,omitempty"`         // confirmed stopping crowd (0 = none)
+	FirstExceed  int    `json:"first_exceed,omitempty"` // earliest >θ crowd (footnote 2)
+	Requests     int    `json:"requests,omitempty"`     // total requests scheduled
+	SimElapsedNs int64  `json:"sim_elapsed_ns,omitempty"`
+	Err          string `json:"err,omitempty"` // measurement failure; job counts as errored
+
+	Result *core.Result `json:"result,omitempty"`
+}
+
+// Store is the append-only sharded result store of one campaign directory:
+//
+//	dir/plan.json             immutable campaign identity
+//	dir/shards/shard-NNNN.jsonl  one Record per line, jobs [N·ShardJobs, (N+1)·ShardJobs)
+//	dir/manifest.json         periodic checkpoint (progress only, never authority)
+//
+// Records land in completion order within their shard; the reader restores
+// job order per shard, which is all the report needs for determinism.
+// Lines that fail to parse (a torn write from a kill) are skipped — the
+// job simply counts as not done and reruns on resume.
+type Store struct {
+	dir       string
+	shardJobs int
+
+	mu    sync.Mutex
+	files map[int]*os.File // open shard appenders
+}
+
+// OpenStore opens (creating if needed) the result store under dir.
+func OpenStore(dir string, shardJobs int) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "shards"), 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, shardJobs: shardJobs, files: make(map[int]*os.File)}, nil
+}
+
+// shardPath returns shard k's file path.
+func (s *Store) shardPath(k int) string {
+	return filepath.Join(s.dir, "shards", fmt.Sprintf("shard-%04d.jsonl", k))
+}
+
+// Append streams one completed job's record to its shard file. Safe for
+// concurrent use by pool workers; each record is written as a single
+// buffered line so the only partial-line risk is an actual kill.
+func (s *Store) Append(rec *Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: encoding record for job %d: %w", rec.Job, err)
+	}
+	line = append(line, '\n')
+	shard := rec.Job / s.shardJobs
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[shard]
+	if !ok {
+		f, err = s.openShardAppender(shard)
+		if err != nil {
+			return err
+		}
+		s.files[shard] = f
+	}
+	_, err = f.Write(line)
+	return err
+}
+
+// openShardAppender opens shard k for appending, first terminating any
+// unterminated final line: a kill mid-append leaves a torn line with no
+// trailing newline, and appending straight after it would weld the next
+// record onto the garbage, losing both. Sealing the tear with a newline
+// turns it into one skippable bad line.
+func (s *Store) openShardAppender(k int) (*os.File, error) {
+	f, err := os.OpenFile(s.shardPath(k), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if size := st.Size(); size > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, size-1); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	return f, nil
+}
+
+// Close closes every open shard appender.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for k, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.files, k)
+	}
+	return first
+}
+
+// readShard decodes shard k's records, skipping unparseable (torn) lines
+// and out-of-range job indexes. Order is file order (completion order).
+func (s *Store) readShard(k int, totalJobs int) ([]Record, error) {
+	f, err := os.Open(s.shardPath(k))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20) // full Results can be long lines
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue // torn write: the job reruns
+		}
+		if rec.Job < 0 || rec.Job >= totalJobs || rec.Job/s.shardJobs != k {
+			continue // foreign or corrupt index: ignore
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// Completed scans every shard and reports which jobs already hold a valid
+// record. This scan — not the manifest — is the authority resume trusts.
+func (s *Store) Completed(totalJobs int) (map[int]bool, error) {
+	done := make(map[int]bool)
+	shards := (totalJobs + s.shardJobs - 1) / s.shardJobs
+	for k := 0; k < shards; k++ {
+		recs, err := s.readShard(k, totalJobs)
+		if err != nil {
+			return nil, err
+		}
+		for i := range recs {
+			done[recs[i].Job] = true
+		}
+	}
+	return done, nil
+}
+
+// Manifest is the periodic checkpoint: a cheap, atomically-replaced
+// progress snapshot for dashboards and sanity checks. Resume never trusts
+// it over the shard scan — it may lag arbitrarily behind a kill.
+type Manifest struct {
+	Plan     string `json:"plan"`
+	Total    int    `json:"total_jobs"`
+	Done     int    `json:"done_jobs"`
+	PerShard []int  `json:"per_shard_done"`
+}
+
+func manifestPath(dir string) string { return filepath.Join(dir, "manifest.json") }
+
+// WriteManifest atomically replaces the checkpoint manifest.
+func WriteManifest(dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(manifestPath(dir), append(data, '\n'))
+}
+
+// LoadManifest reads the checkpoint manifest, if one has been written.
+func LoadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("campaign: corrupt manifest in %s: %w", dir, err)
+	}
+	return &m, nil
+}

@@ -172,6 +172,7 @@ func (c *SimClient) MeasureTarget(reqs []Request) (Baseline, error) {
 	})
 	// The coordinator waits for this client's sequential measurements.
 	c.platform.proc.Wait(done)
+	c.env.FreeEvent(done) // triggered and waited; ours alone
 	if failed != nil {
 		return Baseline{}, failed
 	}
@@ -226,6 +227,7 @@ func (c *SimClient) Fire(epoch int, arriveAt time.Duration, reqs []Request, time
 			})
 		}
 		p.Wait(doneAll)
+		c.env.FreeEvent(doneAll) // triggered and waited; ours alone
 	})
 }
 

@@ -16,8 +16,11 @@ var Parallelism int
 // parMap fans the package's independent simulation jobs out on the shared
 // pool. Results are indexed by job, so callers aggregate them in index order
 // and stay byte-identical to the sequential loops this package used to have.
+// Worker goroutines come from the process-wide runner budget
+// (runner.Shared), so sweeps nested inside other sweeps — or inside a
+// running campaign — never over-subscribe the machine.
 func parMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	return runner.Map(context.Background(), n, func(_ context.Context, i int) (T, error) {
 		return fn(i)
-	}, runner.Workers(Parallelism))
+	}, runner.Workers(Parallelism), runner.Shared())
 }

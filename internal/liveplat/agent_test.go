@@ -99,3 +99,26 @@ func TestAgentMeasureUnreachableTargetReportsError(t *testing.T) {
 		t.Errorf("ack = %+v, want an error for an unreachable target", ack)
 	}
 }
+
+// A barrage of malformed datagrams — truncated JSON, unknown types, an
+// oversized payload, binary garbage — must not wedge the agent loop: a
+// probe afterwards is still answered.
+func TestAgentSurvivesMalformedDatagrams(t *testing.T) {
+	h := newAgentHarness(t)
+	raw := func(b []byte) {
+		if _, err := h.conn.WriteToUDP(b, h.addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw([]byte(`{"t":"fire","id":"x"`))         // truncated JSON
+	raw([]byte(`{"t":"format_disk","id":"x"}`)) // unknown type
+	raw([]byte{0xff, 0xfe, 0x00, 0x01})         // binary garbage
+	raw(make([]byte, wire.MaxDatagram+4000))    // oversized: clipped at the read buffer, parse fails
+	raw([]byte(`{"id":"x","q":1}`))             // typeless
+
+	h.send(t, &wire.Message{Type: wire.TypeProbe, Seq: 77})
+	ack := h.recv(t)
+	if ack.Type != wire.TypeProbeAck || ack.Seq != 77 {
+		t.Errorf("agent wedged after malformed datagrams: %+v", ack)
+	}
+}

@@ -21,9 +21,18 @@ type UDPPlatform struct {
 
 	mu      sync.Mutex
 	agents  map[string]*udpClient // by client ID
-	pending map[uint64]chan *wire.Message
+	pending map[uint64]pendingRPC
 	seq     uint64
 	closed  bool
+}
+
+// pendingRPC routes a reply to its waiting request. A reply must match
+// both the sequence number and the agent the request went to: a datagram
+// claiming someone else's ClientID (misdirected, stale, or spoofed) is
+// dropped rather than delivered as the answer.
+type pendingRPC struct {
+	ch     chan *wire.Message
+	client string
 }
 
 // NewUDPPlatform listens for agent registrations on listenAddr
@@ -46,7 +55,7 @@ func NewUDPPlatform(listenAddr, target string, logf func(string, ...any)) (*UDPP
 		target:  target,
 		logf:    logf,
 		agents:  make(map[string]*udpClient),
-		pending: make(map[uint64]chan *wire.Message),
+		pending: make(map[uint64]pendingRPC),
 	}
 	go p.readLoop()
 	return p, nil
@@ -89,25 +98,31 @@ func (p *UDPPlatform) readLoop() {
 			p.mu.Unlock()
 		default:
 			p.mu.Lock()
-			ch := p.pending[m.Seq]
+			pr, ok := p.pending[m.Seq]
 			p.mu.Unlock()
-			if ch != nil {
-				select {
-				case ch <- m:
-				default:
-				}
+			if !ok {
+				continue // no one is waiting; late or unsolicited reply
+			}
+			if pr.client != "" && m.ClientID != pr.client {
+				p.logf("dropping %s reply with ClientID %q, want %q", m.Type, m.ClientID, pr.client)
+				continue
+			}
+			select {
+			case pr.ch <- m:
+			default:
 			}
 		}
 	}
 }
 
-// rpc sends m to addr and waits for the routed reply.
-func (p *UDPPlatform) rpc(addr *net.UDPAddr, m *wire.Message, timeout time.Duration) (*wire.Message, error) {
+// rpc sends m to addr and waits for the routed reply, which must carry
+// the expected agent's ClientID (empty client disables the check).
+func (p *UDPPlatform) rpc(addr *net.UDPAddr, client string, m *wire.Message, timeout time.Duration) (*wire.Message, error) {
 	p.mu.Lock()
 	p.seq++
 	m.Seq = p.seq
 	ch := make(chan *wire.Message, 1)
-	p.pending[m.Seq] = ch
+	p.pending[m.Seq] = pendingRPC{ch: ch, client: client}
 	p.mu.Unlock()
 	defer func() {
 		p.mu.Lock()
@@ -181,7 +196,7 @@ func (c *udpClient) ID() string { return c.id }
 
 func (c *udpClient) probe() (time.Duration, error) {
 	t0 := time.Now()
-	_, err := c.platform.rpc(c.addr, &wire.Message{Type: wire.TypeProbe}, time.Second)
+	_, err := c.platform.rpc(c.addr, c.id, &wire.Message{Type: wire.TypeProbe}, time.Second)
 	if err != nil {
 		return 0, err
 	}
@@ -202,7 +217,7 @@ func (c *udpClient) MeasureTarget(reqs []core.Request) (core.Baseline, error) {
 		m.Requests = append(m.Requests, wire.Request{Method: r.Method, URL: r.URL})
 	}
 	// Measurement issues real requests; allow a generous window.
-	reply, err := c.platform.rpc(c.addr, m, 90*time.Second)
+	reply, err := c.platform.rpc(c.addr, c.id, m, 90*time.Second)
 	if err != nil {
 		return core.Baseline{}, err
 	}
@@ -241,7 +256,7 @@ func (c *udpClient) Fire(epoch int, arriveAt time.Duration, reqs []core.Request,
 
 // Collect implements core.Client.
 func (c *udpClient) Collect(epoch int) ([]core.Sample, bool) {
-	reply, err := c.platform.rpc(c.addr, &wire.Message{Type: wire.TypePoll, Epoch: epoch}, 2*time.Second)
+	reply, err := c.platform.rpc(c.addr, c.id, &wire.Message{Type: wire.TypePoll, Epoch: epoch}, 2*time.Second)
 	if err != nil {
 		return nil, false
 	}

@@ -1,6 +1,8 @@
 package liveplat
 
 import (
+	"fmt"
+	"net"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -8,6 +10,7 @@ import (
 	"mfc/internal/content"
 	"mfc/internal/core"
 	"mfc/internal/labtarget"
+	"mfc/internal/wire"
 )
 
 // startAgents launches n agents registering with the platform and returns
@@ -141,5 +144,57 @@ func TestUDPCoordinatorRunsStage(t *testing.T) {
 	}
 	if target.Served() == 0 {
 		t.Error("target served nothing")
+	}
+}
+
+// A reply carrying the right Seq but the wrong ClientID must be dropped by
+// the platform's reply router — and the drop must not wedge the pending
+// rpc, which should still accept the real agent's later reply.
+func TestPlatformDropsWrongClientIDReply(t *testing.T) {
+	plat, err := NewUDPPlatform("127.0.0.1:0", "http://unused/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plat.Close()
+
+	agent, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	if err := wire.Send(agent, plat.Addr(), &wire.Message{Type: wire.TypeRegister, ClientID: "honest"}); err != nil {
+		t.Fatal(err)
+	}
+	if n := plat.WaitForAgents(1, time.Now().Add(3*time.Second)); n != 1 {
+		t.Fatalf("agent did not register (%d)", n)
+	}
+
+	// Probe the agent; on the agent side, first answer with a forged
+	// ClientID carrying an error marker, then with the honest identity.
+	// If the forgery is delivered, the probe errors; if it is dropped,
+	// the honest ack wins.
+	probeErr := make(chan error, 1)
+	go func() {
+		clients, err := plat.ActiveClients()
+		if err == nil && len(clients) != 1 {
+			err = fmt.Errorf("got %d active clients, want 1", len(clients))
+		}
+		probeErr <- err
+	}()
+
+	m, from, err := wire.Recv(agent, time.Now().Add(3*time.Second))
+	if err != nil || m.Type != wire.TypeProbe {
+		t.Fatalf("probe: %v %v", m, err)
+	}
+	if err := wire.Send(agent, from, &wire.Message{Type: wire.TypeProbeAck, Seq: m.Seq,
+		ClientID: "impostor", Err: "forged reply was accepted"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.Send(agent, from, &wire.Message{Type: wire.TypeProbeAck, Seq: m.Seq,
+		ClientID: "honest"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-probeErr; err != nil {
+		t.Errorf("probe failed: %v", err)
 	}
 }

@@ -29,13 +29,15 @@ import (
 // outside the simulation (simulated processes interact with it only while
 // they hold the single execution token, which is safe by construction).
 type Env struct {
-	now   time.Duration
-	cal   []*entry // binary min-heap ordered by (at, seq)
-	free  []*entry // recycled calendar entries
-	seq   uint64
-	yield chan struct{}
-	rng   *rand.Rand
-	err   any // panic value recovered from a process
+	now    time.Duration
+	cal    []*entry     // binary min-heap ordered by (at, seq)
+	free   []*entry     // recycled calendar entries
+	evfree []*Event     // recycled events (see FreeEvent)
+	wfree  [][]evWaiter // recycled waiter slices (capacity only)
+	seq    uint64
+	yield  chan struct{}
+	rng    *rand.Rand
+	err    any // panic value recovered from a process
 }
 
 // NewEnv returns an environment whose random source is seeded with seed.
@@ -313,8 +315,49 @@ type evWaiter struct {
 	target uint64
 }
 
-// NewEvent returns an untriggered event bound to e.
-func (e *Env) NewEvent() *Event { return &Event{env: e} }
+// NewEvent returns an untriggered event bound to e. Events come from a free
+// list fed by FreeEvent; Sleep-style waits plus the pooled calendar already
+// run allocation-free, and recycling events (the other per-wait allocation)
+// keeps Resource and Link waits at zero steady-state allocation too.
+func (e *Env) NewEvent() *Event {
+	if n := len(e.evfree); n > 0 {
+		ev := e.evfree[n-1]
+		e.evfree[n-1] = nil
+		e.evfree = e.evfree[:n-1]
+		return ev
+	}
+	return &Event{env: e}
+}
+
+// FreeEvent returns ev to the environment's free list for reuse by a later
+// NewEvent. The caller asserts that no process will touch ev again: every
+// waiter has returned from its Wait, and no other reference escaped (events
+// handed out by StartFlow, for example, must not be freed by the Link).
+// Stale evWaiter entries from an abandoned WaitTimeout are harmless — they
+// are cleared here, and their wakeups were never scheduled.
+func (e *Env) FreeEvent(ev *Event) {
+	if ev == nil {
+		return
+	}
+	if cap(ev.waiters) > 0 {
+		e.wfree = append(e.wfree, ev.waiters[:0])
+	}
+	*ev = Event{env: e}
+	e.evfree = append(e.evfree, ev)
+}
+
+// addWaiter registers a waiter, drawing the backing slice from the recycled
+// pool on first use.
+func (ev *Event) addWaiter(p *Proc, target uint64) {
+	if ev.waiters == nil {
+		if n := len(ev.env.wfree); n > 0 {
+			ev.waiters = ev.env.wfree[n-1]
+			ev.env.wfree[n-1] = nil
+			ev.env.wfree = ev.env.wfree[:n-1]
+		}
+	}
+	ev.waiters = append(ev.waiters, evWaiter{proc: p, target: target})
+}
 
 // Triggered reports whether the event has fired.
 func (ev *Event) Triggered() bool { return ev.triggered }
@@ -330,6 +373,9 @@ func (ev *Event) Trigger() {
 	for _, w := range ev.waiters {
 		ev.env.wakeEntry(ev.env.now, w.proc, w.target)
 	}
+	if cap(ev.waiters) > 0 {
+		ev.env.wfree = append(ev.env.wfree, ev.waiters[:0])
+	}
 	ev.waiters = nil
 }
 
@@ -339,7 +385,7 @@ func (p *Proc) Wait(ev *Event) {
 	if ev.triggered {
 		return
 	}
-	ev.waiters = append(ev.waiters, evWaiter{proc: p, target: p.blocks + 1})
+	ev.addWaiter(p, p.blocks+1)
 	p.block()
 }
 
@@ -354,7 +400,7 @@ func (p *Proc) WaitTimeout(ev *Event, d time.Duration) bool {
 	// dropped by the generation guard in Run.
 	en := p.env.wakeEntry(p.env.now+d, p, p.blocks+1)
 	timer := Timer{en: en, seq: en.seq}
-	ev.waiters = append(ev.waiters, evWaiter{proc: p, target: p.blocks + 1})
+	ev.addWaiter(p, p.blocks+1)
 	p.block()
 	timer.Cancel()
 	return ev.triggered

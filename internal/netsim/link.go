@@ -111,17 +111,24 @@ func (l *Link) Samples() []RateSample { return l.rateSeries }
 func (l *Link) Transfer(p *Proc, bytes float64, cap float64) {
 	fl := l.start(bytes, cap)
 	p.Wait(fl.done)
+	// Completed and waited: no one else saw this flow's event.
+	l.env.FreeEvent(fl.done)
+	fl.done = nil
 }
 
 // TransferTimeout is Transfer with a deadline. If the deadline passes first
 // the flow is aborted (its partial bytes stay counted) and false is returned.
 func (l *Link) TransferTimeout(p *Proc, bytes, cap float64, d time.Duration) bool {
 	fl := l.start(bytes, cap)
-	if p.WaitTimeout(fl.done, d) {
-		return true
+	ok := p.WaitTimeout(fl.done, d)
+	if !ok {
+		l.abort(fl)
 	}
-	l.abort(fl)
-	return false
+	// Either way the event is dead: triggered-and-waited, or aborted with
+	// only our (now stale) waiter registered.
+	l.env.FreeEvent(fl.done)
+	fl.done = nil
+	return ok
 }
 
 // StartFlow begins a transfer without blocking; the returned event triggers

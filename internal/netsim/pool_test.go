@@ -107,3 +107,109 @@ func BenchmarkLinkReallocate(b *testing.B) {
 		link.reallocate()
 	}
 }
+
+// Events are recycled through FreeEvent. A freed event must come back from
+// NewEvent reset — untriggered, with no waiters — and the free list must
+// actually be hit (LIFO reuse of the same allocation).
+func TestEventPoolRecyclesAndResets(t *testing.T) {
+	env := NewEnv(1)
+	ev := env.NewEvent()
+	env.Go("waiter", func(p *Proc) { p.Wait(ev) })
+	env.Go("trigger", func(p *Proc) { ev.Trigger() })
+	env.Run(0)
+	if !ev.Triggered() {
+		t.Fatal("event did not trigger")
+	}
+	env.FreeEvent(ev)
+	ev2 := env.NewEvent()
+	if ev2 != ev {
+		t.Error("NewEvent did not reuse the freed event")
+	}
+	if ev2.Triggered() || len(ev2.waiters) != 0 {
+		t.Errorf("recycled event not reset: triggered=%v waiters=%d",
+			ev2.Triggered(), len(ev2.waiters))
+	}
+}
+
+// Triggering recycles the waiter slice; the next event to take waiters must
+// reuse its capacity instead of growing a fresh slice.
+func TestEventWaiterSliceRecycled(t *testing.T) {
+	env := NewEnv(1)
+	ev := env.NewEvent()
+	for i := 0; i < 4; i++ {
+		env.Go("w", func(p *Proc) { p.Wait(ev) })
+	}
+	env.Go("t", func(p *Proc) { p.Sleep(time.Millisecond); ev.Trigger() })
+	env.Run(0)
+	if len(env.wfree) == 0 {
+		t.Fatal("trigger did not recycle the waiter slice")
+	}
+	recycled := env.wfree[len(env.wfree)-1]
+	if cap(recycled) < 4 {
+		t.Fatalf("recycled slice capacity %d, want >= 4", cap(recycled))
+	}
+	ev2 := env.NewEvent()
+	env.Go("w2", func(p *Proc) { p.Wait(ev2) })
+	env.Go("t2", func(p *Proc) { ev2.Trigger() })
+	env.Run(0)
+	// The waiter slice pool is LIFO too: ev2 must have taken the slice back.
+	if len(env.wfree) == 0 || cap(env.wfree[len(env.wfree)-1]) < 4 {
+		t.Error("second event did not cycle the recycled waiter slice")
+	}
+}
+
+// A stale waiter left behind by a timed-out WaitTimeout must not leak into
+// the event's next life: after FreeEvent and reuse, triggering the recycled
+// event must not disturb the process that abandoned it.
+func TestFreedEventWithStaleWaiterIsInert(t *testing.T) {
+	env := NewEnv(1)
+	ev := env.NewEvent()
+	reached := false
+	env.Go("abandoner", func(p *Proc) {
+		if p.WaitTimeout(ev, time.Millisecond) {
+			t.Error("event unexpectedly triggered")
+		}
+		env.FreeEvent(ev) // we were the only user
+		// Reuse the allocation for an unrelated event and trigger it while
+		// this process is asleep; a leaked stale waiter would wake us early
+		// or corrupt the next block.
+		ev2 := env.NewEvent()
+		env.Go("other", func(q *Proc) { q.Wait(ev2) })
+		env.After(2*time.Millisecond, func() { ev2.Trigger() })
+		p.Sleep(10 * time.Millisecond)
+		reached = true
+	})
+	env.Run(0)
+	if !reached {
+		t.Error("abandoning process did not complete")
+	}
+}
+
+// Resource and Link waits recycle their events: over many cycles the event
+// free list must stay flat (the same handful of events keep cycling), the
+// same bound the calendar free list honors.
+func TestEventFreeListStaysBounded(t *testing.T) {
+	env := NewEnv(1)
+	res := env.NewResource("db", 1)
+	link := env.NewLink("net", 1e6)
+	for w := 0; w < 4; w++ {
+		env.Go("worker", func(p *Proc) {
+			for i := 0; i < 500; i++ {
+				res.Acquire(p)
+				p.Sleep(time.Microsecond)
+				res.Release()
+				link.Transfer(p, 100, 0)
+				if i%5 == 0 {
+					res.AcquireTimeout(p, 10*time.Nanosecond) // mostly times out
+				}
+			}
+		})
+	}
+	env.Run(0)
+	if got := len(env.evfree); got > 32 {
+		t.Errorf("event free list grew to %d; events are not cycling", got)
+	}
+	if got := len(env.wfree); got > 32 {
+		t.Errorf("waiter-slice free list grew to %d", got)
+	}
+}

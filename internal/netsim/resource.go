@@ -98,7 +98,9 @@ func (r *Resource) Acquire(p *Proc) {
 		r.maxQueue = q
 	}
 	p.Wait(w.ev)
-	// The releaser transferred the unit to us (take() already ran).
+	// The releaser transferred the unit to us (take() already ran); the
+	// trigger event is ours alone, so it goes back to the pool.
+	r.env.FreeEvent(w.ev)
 }
 
 // TryAcquire takes a unit if one is free right now, reporting success.
@@ -123,9 +125,11 @@ func (r *Resource) AcquireTimeout(p *Proc, d time.Duration) bool {
 		r.maxQueue = q
 	}
 	if p.WaitTimeout(w.ev, d) {
+		r.env.FreeEvent(w.ev)
 		return true
 	}
 	// Timed out: mark the waiter canceled so a future release skips it.
+	// The event stays with the queued waiter until that skip frees it.
 	w.canceled = true
 	return false
 }
@@ -148,6 +152,8 @@ func (r *Resource) Release() {
 		w := r.queue[0]
 		r.queue = r.queue[1:]
 		if w.canceled {
+			// The timed-out waiter abandoned this never-triggered event.
+			r.env.FreeEvent(w.ev)
 			continue
 		}
 		// Hand the unit straight to the waiter: counts as taken now so

@@ -14,6 +14,7 @@ package population
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -33,6 +34,19 @@ const (
 	Startup              // recent startups from technology blogs
 	Phishing             // Phishtank-listed hosts
 )
+
+// Bands lists every studied population, in presentation order.
+var Bands = []Band{Rank1K, Rank10K, Rank100K, Rank1M, Startup, Phishing}
+
+// ParseBand maps a Band.String() name back to the band.
+func ParseBand(s string) (Band, error) {
+	for _, b := range Bands {
+		if b.String() == s {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("population: unknown band %q", s)
+}
 
 func (b Band) String() string {
 	switch b {
@@ -142,6 +156,9 @@ type SiteSample struct {
 	Config websim.Config
 	Site   *content.Site
 	Seed   int64
+	// MeasureSeed drives the simulation that measures this site. Set only
+	// by SampleAt; Generate's callers derive their own measurement seeds.
+	MeasureSeed int64
 }
 
 // Generate samples n servers from the band's provisioning distributions.
@@ -159,6 +176,40 @@ func Generate(b Band, n int, seed int64) []SiteSample {
 		})
 	}
 	return out
+}
+
+// SampleAt generates site i of band b without generating sites 0..i-1: the
+// site's generator is seeded by a splitmix-style hash of (seed, band, i), so
+// any site is reachable in O(1). This is what lets a campaign shard a
+// 10k-site band into independent per-site jobs and resume any subset — the
+// contract Generate cannot offer, because its single sequential rng makes
+// site i depend on every draw before it.
+//
+// SampleAt(b, i, seed) is deterministic in its arguments and independent of
+// call order; it does not reproduce Generate's samples.
+func SampleAt(b Band, i int, seed int64) SiteSample {
+	rng := rand.New(rand.NewSource(mixSeed(seed, int64(b), int64(i))))
+	name := fmt.Sprintf("%s-%05d", b, i)
+	cfg := configFor(rng, b, name)
+	siteSeed := rng.Int63()
+	site := siteFor(b, name, siteSeed, rng)
+	return SiteSample{
+		Name: name, Band: b, Config: cfg, Site: site, Seed: siteSeed,
+		MeasureSeed: rng.Int63(),
+	}
+}
+
+// mixSeed folds the inputs through splitmix64 finalizers so that adjacent
+// (seed, band, index) tuples land on well-separated generator states.
+func mixSeed(vals ...int64) int64 {
+	z := uint64(0x9E3779B97F4A7C15)
+	for _, v := range vals {
+		z += uint64(v) + 0x9E3779B97F4A7C15
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+	}
+	return int64(z & math.MaxInt64)
 }
 
 // configFor draws one server's provisioning.

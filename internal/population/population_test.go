@@ -1,6 +1,7 @@
 package population
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -126,5 +127,52 @@ func TestPhishingSitesAreSmall(t *testing.T) {
 		if s.Site.Len() > 60 {
 			t.Errorf("phishing site with %d objects; expected a handful", s.Site.Len())
 		}
+	}
+}
+
+// SampleAt must be a pure function of (band, index, seed) — independent of
+// call order — and distinct indices must yield distinct sites. This is the
+// campaign engine's shard contract.
+func TestSampleAtIsOrderIndependent(t *testing.T) {
+	const seed = 42
+	// Forward and reverse sweeps must agree sample by sample.
+	var forward []SiteSample
+	for i := 0; i < 12; i++ {
+		forward = append(forward, SampleAt(Rank100K, i, seed))
+	}
+	for i := 11; i >= 0; i-- {
+		got := SampleAt(Rank100K, i, seed)
+		want := forward[i]
+		if got.Name != want.Name || got.Seed != want.Seed ||
+			got.MeasureSeed != want.MeasureSeed ||
+			!reflect.DeepEqual(got.Config, want.Config) {
+			t.Fatalf("site %d differs between sweeps:\n%+v\n%+v", i, got, want)
+		}
+	}
+	// Adjacent indices, bands, and seeds must not collide.
+	seen := map[int64]string{}
+	for _, b := range Bands {
+		for i := 0; i < 8; i++ {
+			s := SampleAt(b, i, seed)
+			if prev, dup := seen[s.MeasureSeed]; dup {
+				t.Fatalf("measure-seed collision: %s vs %s", s.Name, prev)
+			}
+			seen[s.MeasureSeed] = s.Name
+		}
+	}
+	if s := SampleAt(Rank100K, 3, seed+1); s.Seed == forward[3].Seed {
+		t.Error("changing the campaign seed did not change the site")
+	}
+}
+
+func TestParseBandRoundTrips(t *testing.T) {
+	for _, b := range Bands {
+		got, err := ParseBand(b.String())
+		if err != nil || got != b {
+			t.Errorf("ParseBand(%q) = %v, %v", b.String(), got, err)
+		}
+	}
+	if _, err := ParseBand("rank-nope"); err == nil {
+		t.Error("unknown band accepted")
 	}
 }

@@ -24,6 +24,7 @@ import (
 
 type config struct {
 	workers int
+	shared  bool
 }
 
 // Option configures a Map or ForEach call.
@@ -33,6 +34,63 @@ type Option func(*config)
 // this option) means runtime.GOMAXPROCS(0).
 func Workers(n int) Option {
 	return func(c *config) { c.workers = n }
+}
+
+// Shared gates the call's extra workers on the process-wide pool, so
+// arbitrarily nested sweeps cannot multiply worker counts: a nested sweep
+// that finds the pool exhausted simply runs on its caller's goroutine.
+//
+// Mechanics: the calling goroutine always executes jobs itself (progress is
+// never blocked on the pool, so nesting cannot deadlock), and additional
+// workers are started only for slots acquired — without waiting — from a
+// process-wide budget of SharedCapacity slots. Total sweep goroutines
+// across every concurrent Shared call are therefore bounded by
+// SharedCapacity plus one inline worker per caller, instead of the product
+// of per-call pool sizes.
+func Shared() Option {
+	return func(c *config) { c.shared = true }
+}
+
+var (
+	sharedMu   sync.Mutex
+	sharedCap  = runtime.GOMAXPROCS(0)
+	sharedUsed int
+)
+
+// SetSharedCapacity resizes the process-wide worker budget Shared calls
+// draw from. n <= 0 restores the default, runtime.GOMAXPROCS(0). Workers
+// already running keep their slots; the new capacity governs future
+// acquisitions.
+func SetSharedCapacity(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	sharedMu.Lock()
+	sharedCap = n
+	sharedMu.Unlock()
+}
+
+// SharedCapacity reports the current process-wide worker budget.
+func SharedCapacity() int {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	return sharedCap
+}
+
+func tryAcquireShared() bool {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if sharedUsed >= sharedCap {
+		return false
+	}
+	sharedUsed++
+	return true
+}
+
+func releaseShared() {
+	sharedMu.Lock()
+	sharedUsed--
+	sharedMu.Unlock()
 }
 
 // ForEach runs fn(ctx, i) for every i in [0, n) on a bounded worker pool and
@@ -84,22 +142,35 @@ func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 		mu.Unlock()
 		cancel() // first error stops the pool from claiming more work
 	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	worker := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || jobCtx.Err() != nil {
+				return
+			}
+			if err := fn(jobCtx, i); err != nil {
+				fail(i, err)
+				return
+			}
+		}
+	}
+	// The caller's goroutine is always worker zero; extra workers beyond it
+	// are unconditional normally, pool-gated under Shared.
+	for w := 1; w < workers; w++ {
+		if cfg.shared && !tryAcquireShared() {
+			break
+		}
+		shared := cfg.shared
+		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || jobCtx.Err() != nil {
-					return
-				}
-				if err := fn(jobCtx, i); err != nil {
-					fail(i, err)
-					return
-				}
+			if shared {
+				defer releaseShared()
 			}
+			worker()
 		}()
 	}
+	worker()
 	wg.Wait()
 	if firstErr != nil {
 		return firstErr

@@ -189,3 +189,103 @@ func TestWorkerCountInvariance(t *testing.T) {
 		}
 	}
 }
+
+// Nested Shared sweeps must not multiply worker counts: total concurrent
+// jobs are bounded by the shared capacity plus the one inline worker every
+// call runs on its caller's goroutine.
+func TestSharedPoolBoundsNestedSweeps(t *testing.T) {
+	SetSharedCapacity(2)
+	defer SetSharedCapacity(0)
+
+	var inFlight, peak atomic.Int64
+	err := ForEach(context.Background(), 4, func(ctx context.Context, _ int) error {
+		// Each outer job runs a whole inner sweep — the shape that used to
+		// spin up workers^2 goroutines.
+		return ForEach(ctx, 8, func(_ context.Context, _ int) error {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			inFlight.Add(-1)
+			return nil
+		}, Workers(8), Shared())
+	}, Workers(4), Shared())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 2 + the root caller's inline worker: never more than 3
+	// leaf jobs in flight, where unshared nesting would reach 32.
+	if p := peak.Load(); p > 3 {
+		t.Errorf("peak concurrency %d exceeds shared capacity bound 3", p)
+	}
+}
+
+// An exhausted shared pool must not deadlock or starve a sweep: the caller
+// always makes progress inline.
+func TestSharedPoolExhaustedStillCompletes(t *testing.T) {
+	SetSharedCapacity(1)
+	defer SetSharedCapacity(0)
+	// Hold the only slot for the duration of the call.
+	if !tryAcquireShared() {
+		t.Fatal("could not take the only slot")
+	}
+	defer releaseShared()
+
+	var ran atomic.Int64
+	if err := ForEach(context.Background(), 64, func(_ context.Context, _ int) error {
+		ran.Add(1)
+		return nil
+	}, Shared()); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 64 {
+		t.Errorf("ran %d of 64 jobs with pool exhausted", ran.Load())
+	}
+}
+
+// Shared slots must be returned when a sweep finishes.
+func TestSharedPoolSlotsReleased(t *testing.T) {
+	SetSharedCapacity(4)
+	defer SetSharedCapacity(0)
+	for round := 0; round < 3; round++ {
+		if err := ForEach(context.Background(), 16, func(_ context.Context, _ int) error {
+			return nil
+		}, Shared()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sharedMu.Lock()
+	used := sharedUsed
+	sharedMu.Unlock()
+	if used != 0 {
+		t.Errorf("%d shared slots leaked", used)
+	}
+}
+
+// Worker-count invariance holds under Shared too: the pool only changes
+// scheduling, never results.
+func TestSharedWorkerInvariance(t *testing.T) {
+	SetSharedCapacity(3)
+	defer SetSharedCapacity(0)
+	base, err := Map(context.Background(), 200, func(_ context.Context, i int) (int, error) {
+		return i * 13, nil
+	}, Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Map(context.Background(), 200, func(_ context.Context, i int) (int, error) {
+		return i * 13, nil
+	}, Workers(16), Shared())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if base[i] != got[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}

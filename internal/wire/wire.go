@@ -94,14 +94,34 @@ func Encode(m *Message) ([]byte, error) {
 	return b, nil
 }
 
-// Decode unmarshals one datagram.
+// knownTypes is the closed set of protocol messages; anything else is a
+// malformed or hostile datagram and is rejected at decode time, so no
+// receive loop needs its own unknown-type handling.
+var knownTypes = map[MsgType]bool{
+	TypeRegister: true,
+	TypeProbe:    true, TypeProbeAck: true,
+	TypeMeasure: true, TypeMeasureAck: true,
+	TypeFire: true,
+	TypePoll: true, TypeResults: true,
+}
+
+// Decode unmarshals one datagram, enforcing the size bound and the known
+// message-type set. Truncated JSON (including a datagram clipped at the
+// read buffer), an unknown Type, and oversized input all return errors the
+// caller treats as "drop and keep serving".
 func Decode(b []byte) (*Message, error) {
+	if len(b) > MaxDatagram {
+		return nil, fmt.Errorf("wire: datagram is %d bytes, exceeds %d", len(b), MaxDatagram)
+	}
 	var m Message
 	if err := json.Unmarshal(b, &m); err != nil {
 		return nil, fmt.Errorf("wire: decoding datagram: %w", err)
 	}
 	if m.Type == "" {
 		return nil, fmt.Errorf("wire: datagram without type")
+	}
+	if !knownTypes[m.Type] {
+		return nil, fmt.Errorf("wire: unknown message type %q", m.Type)
 	}
 	return &m, nil
 }

@@ -132,3 +132,28 @@ func TestRecvTimeout(t *testing.T) {
 		t.Errorf("err = %v, want timeout", err)
 	}
 }
+
+// Malformed datagrams every receive loop must survive: truncated JSON
+// (including a datagram clipped at the read buffer), unknown types, and
+// oversized payloads are all decode errors, never messages.
+func TestDecodeRejectsMalformedDatagrams(t *testing.T) {
+	full, err := Encode(&Message{Type: TypeFire, ClientID: "a", Epoch: 2,
+		Requests: []Request{{Method: "GET", URL: "/x"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated json":  full[:len(full)-3],
+		"clipped mid-key": full[:len(full)/2],
+		"empty":           {},
+		"unknown type":    []byte(`{"t":"self_destruct","id":"x"}`),
+		"typeless":        []byte(`{"id":"x","q":3}`),
+		"oversized":       append([]byte(`{"t":"results","id":"`), append(make([]byte, MaxDatagram), []byte(`"}`)...)...),
+		"binary garbage":  {0xff, 0x00, 0x01, 0xfe},
+	}
+	for name, b := range cases {
+		if m, err := Decode(b); err == nil {
+			t.Errorf("%s: accepted as %+v", name, m)
+		}
+	}
+}
