@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-short bench-check experiments campaign-smoke ci
+.PHONY: build test race vet fmt-check bench bench-short bench-check experiments fuzz campaign-smoke ci
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,13 @@ bench-check:
 
 experiments:
 	$(GO) run ./cmd/mfc-experiments
+
+# Short coverage-guided fuzz runs over the hostile-input parsers (the
+# checked-in seed corpora also run as plain unit tests under `make test`).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzShardTail$$' -fuzztime 10s ./internal/campaign
+	$(GO) test -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime 10s ./internal/campaign
 
 # Kill + resume determinism check, the same sequence CI runs.
 campaign-smoke:

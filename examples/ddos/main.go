@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"mfc"
 )
@@ -24,6 +25,9 @@ func main() {
 	}
 	cfg := mfc.DefaultConfig()
 	cfg.MaxCrowd = 50
+	if os.Getenv("MFC_EXAMPLE_QUICK") != "" {
+		cfg.MaxCrowd = 15 // tiny ramp for the examples smoke test
+	}
 
 	for _, t := range targets {
 		res, err := mfc.RunSimulated(mfc.SimTarget{

@@ -9,18 +9,24 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"mfc"
 )
 
 func main() {
+	quick := os.Getenv("MFC_EXAMPLE_QUICK") != "" // tiny ramps for the smoke test
+
 	// --- Figure 4 style: tracking a known response-time model. ---
 	model := mfc.LinearModel{Slope: 5 * time.Millisecond}
 	srv, site := mfc.PresetValidation(model)
 	cfg := mfc.DefaultConfig()
 	cfg.Threshold = time.Hour // trace the whole curve, never stop
 	cfg.MaxCrowd = 60
+	if quick {
+		cfg.MaxCrowd = 15
+	}
 
 	res, err := mfc.RunSimulated(mfc.SimTarget{Server: srv, Site: site, Clients: 65, Seed: 3}, cfg)
 	if err != nil {
@@ -38,6 +44,9 @@ func main() {
 	cfg = mfc.DefaultConfig()
 	cfg.Threshold = time.Hour
 	cfg.MaxCrowd = 50
+	if quick {
+		cfg.MaxCrowd = 15
+	}
 	run, err := mfc.RunSimulatedDetailed(mfc.SimTarget{
 		Server: lab, Site: labSite, Clients: 55, LAN: true, Seed: 4,
 	}, cfg)

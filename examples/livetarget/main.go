@@ -12,6 +12,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"mfc"
@@ -22,6 +23,10 @@ import (
 )
 
 func main() {
+	// This example spends real wall-clock time (genuine HTTP over loopback);
+	// quick mode shrinks the crowd and the ramp so the smoke test stays fast.
+	quick := os.Getenv("MFC_EXAMPLE_QUICK") != ""
+
 	// A real HTTP server with a linear synthetic response model: every
 	// pending request past the first adds 4ms.
 	site := content.Generate("livetarget", 11, content.GenConfig{Pages: 20, Queries: 10})
@@ -49,7 +54,11 @@ func main() {
 	}
 	fmt.Println(prof)
 
-	plat, err := liveplat.NewInProcessPlatform(url, 40)
+	clients := 40
+	if quick {
+		clients = 12
+	}
+	plat, err := liveplat.NewInProcessPlatform(url, clients)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,6 +70,12 @@ func main() {
 	cfg.EpochGap = 200 * time.Millisecond
 	cfg.RequestTimeout = 1500 * time.Millisecond
 	cfg.ScheduleGuard = 200 * time.Millisecond
+	if quick {
+		cfg.MaxCrowd = 10
+		cfg.MinClients = 12
+		cfg.EpochGap = 100 * time.Millisecond
+		cfg.ScheduleGuard = 100 * time.Millisecond
+	}
 
 	coord := mfc.NewCoordinator(plat, cfg, nil)
 	res, err := coord.RunExperiment(url, prof)

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"mfc"
@@ -21,11 +22,15 @@ import (
 	"mfc/internal/websim"
 )
 
-const perBand = 25 // sites per band (paper: ~100-150)
+var perBand = 25 // sites per band (paper: ~100-150)
 
 func main() {
 	bands := []population.Band{
 		population.Rank1K, population.Rank10K, population.Rank100K, population.Rank1M,
+	}
+	if os.Getenv("MFC_EXAMPLE_QUICK") != "" {
+		perBand = 4 // tiny populations for the examples smoke test
+		bands = bands[:2]
 	}
 	for _, stage := range []mfc.Stage{mfc.StageBase, mfc.StageSmallQuery} {
 		fmt.Printf("== %v stage, %d sites per band ==\n", stage, perBand)

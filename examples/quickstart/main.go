@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"mfc"
 )
@@ -16,6 +17,9 @@ func main() {
 	// median detection (90%-of-clients rule for Large Object), check phase.
 	cfg := mfc.DefaultConfig()
 	cfg.MaxCrowd = 55
+	if os.Getenv("MFC_EXAMPLE_QUICK") != "" {
+		cfg.MaxCrowd = 15 // tiny ramp for the examples smoke test
+	}
 
 	// QTNP is the top-50 commercial site's non-production twin from §4.1:
 	// strong pipe, heavy base-page path, a contended query backend.

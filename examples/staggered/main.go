@@ -10,17 +10,24 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"mfc"
 )
 
 func main() {
+	staggers := []time.Duration{0, 20 * time.Millisecond, 100 * time.Millisecond, 400 * time.Millisecond}
+	maxCrowd := 50
+	if os.Getenv("MFC_EXAMPLE_QUICK") != "" {
+		staggers = staggers[:2] // tiny sweep for the examples smoke test
+		maxCrowd = 15
+	}
 	fmt.Println("Base stage against a weak research-group server (Univ-1 preset):")
 	fmt.Printf("%-14s %-12s %s\n", "inter-arrival", "verdict", "max median increase")
-	for _, stagger := range []time.Duration{0, 20 * time.Millisecond, 100 * time.Millisecond, 400 * time.Millisecond} {
+	for _, stagger := range staggers {
 		cfg := mfc.DefaultConfig()
-		cfg.MaxCrowd = 50
+		cfg.MaxCrowd = maxCrowd
 		cfg.Stagger = stagger
 
 		res, err := mfc.RunSimulated(mfc.SimTarget{

@@ -1,0 +1,220 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The batched kernel defers Link waterfills to the end of each simulated
+// instant; the reference kernel recomputes on every flow change. The two
+// must be observably indistinguishable. These tests drive identical
+// scenarios through both kernels and require identical traces, covering
+// the adversarial same-instant cases individually and a seeded random
+// workload for breadth. The full-experiment differential lives in the
+// repository root (differential_test.go); this file locks the kernel
+// itself.
+
+// scenario drives one deterministic workload, appending observable facts
+// (virtual times, byte counts, completion order) to the trace.
+type scenario func(env *Env, trace *[]string)
+
+// runBoth executes sc under the batched and the immediate kernel and
+// fails the test if any trace line differs.
+func runBoth(t *testing.T, name string, seed int64, sc scenario) {
+	t.Helper()
+	var traces [2][]string
+	for mode, immediate := range []bool{false, true} {
+		env := NewEnv(seed)
+		env.SetImmediateReallocate(immediate)
+		sc(env, &traces[mode])
+		traces[mode] = append(traces[mode], fmt.Sprintf("end now=%v", env.Now()))
+	}
+	if len(traces[0]) != len(traces[1]) {
+		t.Fatalf("%s: batched trace has %d lines, immediate %d\nbatched: %q\nimmediate: %q",
+			name, len(traces[0]), len(traces[1]), traces[0], traces[1])
+	}
+	for i := range traces[0] {
+		if traces[0][i] != traces[1][i] {
+			t.Errorf("%s: trace line %d diverges\n  batched:   %s\n  immediate: %s",
+				name, i, traces[0][i], traces[1][i])
+		}
+	}
+}
+
+// logf appends one formatted observation to the trace.
+func logf(trace *[]string, format string, args ...any) {
+	*trace = append(*trace, fmt.Sprintf(format, args...))
+}
+
+// A synchronized wave: many flows with distinct caps arrive at the same
+// instant — the exact case batching collapses from N waterfills to one.
+// Every completion time and the final byte count must match the reference.
+func TestDifferentialSynchronizedWave(t *testing.T) {
+	runBoth(t, "wave", 1, func(env *Env, trace *[]string) {
+		link := env.NewLink("l", 1e6)
+		for i := 0; i < 24; i++ {
+			i := i
+			env.Go(fmt.Sprintf("w%02d", i), func(p *Proc) {
+				// All arrive at t=0 with caps that straddle the fair share.
+				link.Transfer(p, float64(1000*(i+1)), float64(30e3+7e3*i))
+				logf(trace, "w%02d done at %v", i, p.Now())
+			})
+		}
+		env.Run(0)
+		logf(trace, "bytes=%.6f completed=%d", link.BytesSent(), link.FlowsCompleted())
+	})
+}
+
+// A flow added and removed in the same instant (TransferTimeout with a
+// zero deadline) must leave the surviving flows' rates — and therefore
+// their completion times — identical under both kernels.
+func TestDifferentialAddRemoveSameInstant(t *testing.T) {
+	runBoth(t, "add-remove", 2, func(env *Env, trace *[]string) {
+		link := env.NewLink("l", 1000)
+		for i := 0; i < 3; i++ {
+			i := i
+			env.Go(fmt.Sprintf("long%d", i), func(p *Proc) {
+				link.Transfer(p, 400, 0)
+				logf(trace, "long%d done at %v", i, p.Now())
+			})
+		}
+		env.GoAfter("blip", 100*time.Millisecond, func(p *Proc) {
+			// Arrives and gives up at the same instant: the flow set is
+			// mutated twice at t=100ms with zero net effect.
+			ok := link.TransferTimeout(p, 1e9, 0, 0)
+			logf(trace, "blip ok=%v at %v active=%d", ok, p.Now(), link.Active())
+		})
+		env.Run(0)
+		logf(trace, "bytes=%.6f", link.BytesSent())
+	})
+}
+
+// A link touched several times at one instant — a scheduled completion, two
+// arrivals, and an abort all at the same timestamp.
+func TestDifferentialLinkTouchedTwice(t *testing.T) {
+	runBoth(t, "touched-twice", 3, func(env *Env, trace *[]string) {
+		link := env.NewLink("l", 1000)
+		env.Go("first", func(p *Proc) {
+			// Alone on the link: 500 bytes at 1000 B/s completes exactly at
+			// t=500ms, the instant everything else below happens.
+			link.Transfer(p, 500, 0)
+			logf(trace, "first done at %v", p.Now())
+		})
+		for i := 0; i < 2; i++ {
+			i := i
+			env.GoAfter(fmt.Sprintf("joiner%d", i), 500*time.Millisecond, func(p *Proc) {
+				link.Transfer(p, 250, 0)
+				logf(trace, "joiner%d done at %v", i, p.Now())
+			})
+		}
+		env.GoAfter("quitter", 500*time.Millisecond, func(p *Proc) {
+			ok := link.TransferTimeout(p, 1e9, 0, 0)
+			logf(trace, "quitter ok=%v at %v", ok, p.Now())
+		})
+		env.Run(0)
+		logf(trace, "bytes=%.6f completed=%d", link.BytesSent(), link.FlowsCompleted())
+	})
+}
+
+// A proc dying at the same timestamp a new proc spawns (and is recycled
+// into it) while both touch the same link.
+func TestDifferentialDeathAndSpawnSameInstant(t *testing.T) {
+	runBoth(t, "death-spawn", 4, func(env *Env, trace *[]string) {
+		link := env.NewLink("l", 1000)
+		done := env.NewEvent()
+		env.Go("dying", func(p *Proc) {
+			link.Transfer(p, 300, 0) // done at t=300ms, then the proc exits
+			logf(trace, "dying done at %v", p.Now())
+			done.Trigger()
+		})
+		env.Go("watcher", func(p *Proc) {
+			p.Wait(done)
+			// Same instant as the death: spawn a successor (which reuses
+			// the dead proc's pooled incarnation) that re-touches the link.
+			env.Go("heir", func(q *Proc) {
+				link.Transfer(q, 100, 0)
+				logf(trace, "heir %q done at %v", q.Name(), q.Now())
+			})
+			logf(trace, "watcher spawned at %v", p.Now())
+		})
+		env.Run(0)
+		logf(trace, "bytes=%.6f", link.BytesSent())
+	})
+}
+
+// Seeded random churn across two links and a resource: sleeps, transfers,
+// tight timeouts, and aborts drawn from the environment RNG. Eight seeds;
+// any behavioral divergence between the kernels shows up as a trace diff.
+func TestDifferentialRandomChurn(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runBoth(t, "churn", seed, func(env *Env, trace *[]string) {
+				fast := env.NewLink("fast", 5e5)
+				slow := env.NewLink("slow", 5e4)
+				res := env.NewResource("res", 2)
+				for w := 0; w < 6; w++ {
+					w := w
+					env.Go(fmt.Sprintf("c%d", w), func(p *Proc) {
+						rng := env.Rand()
+						for i := 0; i < 40; i++ {
+							p.Sleep(time.Duration(rng.Intn(5000)) * time.Microsecond)
+							link := fast
+							if rng.Intn(2) == 0 {
+								link = slow
+							}
+							bytes := float64(1 + rng.Intn(20000))
+							cap := float64(0)
+							if rng.Intn(3) == 0 {
+								cap = 1e4 + float64(rng.Intn(100000))
+							}
+							if rng.Intn(4) == 0 {
+								d := time.Duration(rng.Intn(60)) * time.Millisecond
+								ok := link.TransferTimeout(p, bytes, cap, d)
+								logf(trace, "c%d i%d timeout ok=%v at %v", w, i, ok, p.Now())
+							} else {
+								link.Transfer(p, bytes, cap)
+								logf(trace, "c%d i%d done at %v", w, i, p.Now())
+							}
+							if rng.Intn(5) == 0 {
+								if res.AcquireTimeout(p, 3*time.Millisecond) {
+									p.Sleep(time.Duration(rng.Intn(2000)) * time.Microsecond)
+									res.Release()
+								}
+							}
+						}
+					})
+				}
+				env.Run(0)
+				logf(trace, "fast=%.6f slow=%.6f done=%d/%d",
+					fast.BytesSent(), slow.BytesSent(),
+					fast.FlowsCompleted(), slow.FlowsCompleted())
+			})
+		})
+	}
+}
+
+// The dirty list must be empty whenever Run returns — at exhaustion and at
+// an until-cutoff — so no link is ever left with stale rates.
+func TestFlushRunsBeforeRunReturns(t *testing.T) {
+	env := NewEnv(1)
+	link := env.NewLink("l", 1000)
+	env.Go("x", func(p *Proc) { link.Transfer(p, 800, 0) })
+	// Cut off mid-transfer: the arrival at t=0 must still have been flushed
+	// (rates assigned) or the bytes accounting below would be wrong.
+	env.Run(400 * time.Millisecond)
+	if len(env.dirty) != 0 {
+		t.Fatalf("dirty list has %d entries after cutoff Run", len(env.dirty))
+	}
+	if got := link.BytesSent(); got < 399 || got > 401 {
+		t.Errorf("BytesSent at cutoff = %v, want ~400 (stale rates?)", got)
+	}
+	env.Run(0)
+	if len(env.dirty) != 0 {
+		t.Fatalf("dirty list has %d entries after exhaustion", len(env.dirty))
+	}
+	if got := link.BytesSent(); got < 799.9 || got > 800.1 {
+		t.Errorf("final BytesSent = %v, want 800", got)
+	}
+}

@@ -16,11 +16,42 @@
 // index-addressed slice (no container/heap interface boxing), and the
 // wake/yield token exchange uses 1-buffered channels so each handoff costs a
 // single blocking rendezvous rather than two.
+//
+// Two further optimizations exploit the lock-step model:
+//
+//   - Batched link reallocation. A Link whose flow set changes does not
+//     recompute its waterfill immediately; it registers on the environment's
+//     dirty list and Run flushes every dirty link exactly once per simulated
+//     instant, just before the clock advances (and before Run returns).
+//     N synchronized flow arrivals at one timestamp cost one waterfill
+//     instead of N. Flush order is registration order, never map iteration,
+//     so runs stay byte-deterministic. No virtual time passes between a
+//     flow change and its flush, so rates, byte accounting, and completion
+//     instants are exactly those of eager recomputation. Two narrower
+//     behaviors do differ from the pre-batching kernel: the completion
+//     callback's calendar entry is pushed at the flush rather than
+//     mid-instant, so its tie-break order against an entry independently
+//     scheduled for the very same future nanosecond can change, and
+//     EnableSampling records one RateSample per instant rather than one
+//     per flow change. The reference "immediate" kernel — reallocate on
+//     every change — remains selectable per environment
+//     (SetImmediateReallocate) or process-wide via the
+//     MFC_NETSIM_IMMEDIATE environment variable, and the differential
+//     tests verify end-to-end result equality across seeds, presets, and
+//     population bands.
+//
+//   - Pooled processes. A dead Proc, its wake channel, and its goroutine are
+//     parked on a free list and resurrected by the next Go instead of being
+//     reallocated. A recycled Proc keeps its monotonic block counter, so
+//     wakeups aimed at a previous incarnation can never pass the generation
+//     guard. Run terminates the parked goroutines when the calendar is
+//     exhausted, so environments do not leak goroutines across experiments.
 package netsim
 
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 )
 
@@ -34,18 +65,53 @@ type Env struct {
 	free   []*entry     // recycled calendar entries
 	evfree []*Event     // recycled events (see FreeEvent)
 	wfree  [][]evWaiter // recycled waiter slices (capacity only)
+	dirty  []*Link      // links awaiting the end-of-instant waterfill flush
+	pfree  []*Proc      // dead procs with parked goroutines, LIFO
+	flfree []*Flow      // recycled link flows (see freeFlow)
+	wtfree []*waiter    // recycled resource waiters
 	seq    uint64
 	yield  chan struct{}
 	rng    *rand.Rand
 	err    any // panic value recovered from a process
+
+	// immediate selects the reference kernel: every Link flow change
+	// recomputes the waterfill eagerly instead of once per instant. The
+	// differential tests run both kernels and require identical output.
+	immediate bool
 }
 
 // NewEnv returns an environment whose random source is seeded with seed.
+// Setting MFC_NETSIM_IMMEDIATE in the process environment selects the
+// reference immediate-reallocate kernel for every new environment.
 func NewEnv(seed int64) *Env {
 	return &Env{
-		yield: make(chan struct{}, 1),
-		rng:   rand.New(rand.NewSource(seed)),
+		yield:     make(chan struct{}, 1),
+		rng:       rand.New(rand.NewSource(seed)),
+		immediate: os.Getenv("MFC_NETSIM_IMMEDIATE") != "",
 	}
+}
+
+// SetImmediateReallocate switches between the batched kernel (default,
+// false) and the reference immediate-reallocate kernel. Call it before the
+// simulation runs; switching to immediate mid-run flushes any pending
+// recomputations first so no link is left with stale rates.
+func (e *Env) SetImmediateReallocate(on bool) {
+	if on {
+		e.flushDirty()
+	}
+	e.immediate = on
+}
+
+// flushDirty recomputes the waterfill of every dirty link, in the order the
+// links became dirty within the instant. reallocate changes no flow set, so
+// a flush cannot re-dirty a link.
+func (e *Env) flushDirty() {
+	for i, l := range e.dirty {
+		e.dirty[i] = nil
+		l.dirty = false
+		l.reallocate()
+	}
+	e.dirty = e.dirty[:0]
 }
 
 // Now returns the current virtual time (time since simulation start).
@@ -189,12 +255,21 @@ func (e *Env) After(d time.Duration, fn func()) Timer {
 
 // Proc is a simulated process. Its methods may only be called from within
 // the process's own function.
+//
+// Procs are pooled: when a process function returns, the Proc, its wake
+// channel, and its goroutine park on the environment's free list and the
+// next Go resurrects them. blocks is deliberately NOT reset on reuse — it
+// increases monotonically across incarnations, so a stale wakeup scheduled
+// for a previous life (its target is at most the previous life's final
+// block count) can never match a block of the current one.
 type Proc struct {
 	env        *Env
 	name       string
 	wake       chan struct{}
+	fn         func(p *Proc) // body of the current incarnation
 	dead       bool
-	blocks     uint64 // number of block() calls entered so far
+	kill       bool   // tells the parked goroutine to exit (pool drain)
+	blocks     uint64 // number of block() calls entered so far, ever
 	blockedNow bool
 }
 
@@ -209,25 +284,73 @@ func (p *Proc) Now() time.Duration { return p.env.now }
 
 // Go starts fn as a new simulated process at the current time.
 // It can be called before Run, from another process, or from a callback.
+// The Proc comes from the free list when one is parked there (LIFO, so
+// reuse order is deterministic); otherwise a fresh Proc and goroutine are
+// created.
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{env: e, name: name, wake: make(chan struct{}, 1)}
+	var p *Proc
+	if n := len(e.pfree); n > 0 {
+		p = e.pfree[n-1]
+		e.pfree[n-1] = nil
+		e.pfree = e.pfree[:n-1]
+		p.name = name
+		p.dead = false
+		p.blockedNow = false
+	} else {
+		p = &Proc{env: e, name: name, wake: make(chan struct{}, 1)}
+		go e.procLoop(p)
+	}
+	p.fn = fn
 	en := e.newEntry()
 	en.at = e.now
 	en.proc = p
 	en.start = true
 	e.push(en)
-	go func() {
-		<-p.wake // wait for the driver to dispatch our start entry
-		defer func() {
-			if r := recover(); r != nil {
-				e.err = fmt.Sprintf("netsim: process %q panicked: %v", p.name, r)
-			}
-			p.dead = true
-			e.yield <- struct{}{}
-		}()
-		fn(p)
-	}()
 	return p
+}
+
+// procLoop is the body of every process goroutine: run one incarnation per
+// start dispatch, then park in the free list until resurrected or killed.
+// Appending to pfree here is safe: the driver is blocked in <-e.yield and
+// observes the append only after the send (channel happens-before).
+func (e *Env) procLoop(p *Proc) {
+	for {
+		<-p.wake // wait for the driver to dispatch a start entry
+		if p.kill {
+			e.yield <- struct{}{}
+			return
+		}
+		e.runIncarnation(p)
+		p.dead = true
+		p.fn = nil
+		e.pfree = append(e.pfree, p)
+		e.yield <- struct{}{}
+	}
+}
+
+// runIncarnation executes the current process body, converting a panic into
+// the environment error that Run re-raises.
+func (e *Env) runIncarnation(p *Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.err = fmt.Sprintf("netsim: process %q panicked: %v", p.name, r)
+		}
+	}()
+	p.fn(p)
+}
+
+// drainProcPool terminates every parked goroutine. Run calls it when the
+// calendar is exhausted so a finished simulation holds no goroutines; the
+// next Go after a drain simply allocates fresh.
+func (e *Env) drainProcPool() {
+	for i, p := range e.pfree {
+		p.kill = true
+		p.wake <- struct{}{}
+		<-e.yield // the goroutine acknowledges and exits
+		p.kill = false
+		e.pfree[i] = nil
+	}
+	e.pfree = e.pfree[:0]
 }
 
 // GoAfter starts fn as a new process after delay d.
@@ -259,8 +382,30 @@ func (p *Proc) block() {
 // clock would pass `until` (use a non-positive until to run to exhaustion).
 // It panics if a simulated process panicked, re-raising the value with
 // context. Run returns the virtual time at which it stopped.
+//
+// Run owns the end-of-instant flush: whenever the clock is about to leave
+// the current instant — the next entry is later than now, the calendar is
+// empty, or the until cutoff is reached — every dirty link recomputes its
+// waterfill once, at the instant all of its flow changes happened. A flush
+// may schedule new completion entries at or after now; the loop re-examines
+// the calendar afterwards, so those dispatch in their proper place.
+//
+// When the calendar is exhausted Run also drains the process pool,
+// terminating the parked goroutines, so a completed simulation leaves
+// nothing running.
 func (e *Env) Run(until time.Duration) time.Duration {
-	for len(e.cal) > 0 {
+	for {
+		if len(e.cal) == 0 {
+			if len(e.dirty) == 0 {
+				break
+			}
+			e.flushDirty()
+			continue
+		}
+		if len(e.dirty) > 0 && e.cal[0].at > e.now {
+			e.flushDirty()
+			continue // the flush may have pushed earlier entries
+		}
 		en := e.calPop()
 		if en.canceled {
 			e.recycle(en)
@@ -269,6 +414,10 @@ func (e *Env) Run(until time.Duration) time.Duration {
 		if until > 0 && en.at > until {
 			e.calPush(en) // keep it for a later Run
 			e.now = until
+			// Drain here too: a caller may abandon the environment after a
+			// horizon-bounded Run, and parked goroutines are never garbage
+			// collected. The next Go after a drain simply allocates fresh.
+			e.drainProcPool()
 			return e.now
 		}
 		e.now = en.at
@@ -293,9 +442,14 @@ func (e *Env) Run(until time.Duration) time.Duration {
 			fn()
 		}
 		if e.err != nil {
-			panic(e.err)
+			// Drain before re-raising so a recovered simulation failure
+			// (campaign jobs recover per-site panics) leaks no goroutines.
+			err := e.err
+			e.drainProcPool()
+			panic(err)
 		}
 	}
+	e.drainProcPool()
 	return e.now
 }
 
@@ -344,6 +498,43 @@ func (e *Env) FreeEvent(ev *Event) {
 	}
 	*ev = Event{env: e}
 	e.evfree = append(e.evfree, ev)
+}
+
+// newFlow takes a Flow from the free list (or allocates one). Fields are
+// zeroed at free time; Link.start sets every live field.
+func (e *Env) newFlow() *Flow {
+	if n := len(e.flfree); n > 0 {
+		fl := e.flfree[n-1]
+		e.flfree[n-1] = nil
+		e.flfree = e.flfree[:n-1]
+		return fl
+	}
+	return &Flow{}
+}
+
+// freeFlow recycles a retired flow. The caller asserts the flow is off its
+// link's flow list and no other reference escaped — Transfer-style waits
+// qualify; flows handed out via StartFlow are never recycled because the
+// caller keeps the completion event.
+func (e *Env) freeFlow(fl *Flow) {
+	*fl = Flow{}
+	e.flfree = append(e.flfree, fl)
+}
+
+// newWaiter and freeWaiter recycle Resource queue nodes the same way.
+func (e *Env) newWaiter() *waiter {
+	if n := len(e.wtfree); n > 0 {
+		w := e.wtfree[n-1]
+		e.wtfree[n-1] = nil
+		e.wtfree = e.wtfree[:n-1]
+		return w
+	}
+	return &waiter{}
+}
+
+func (e *Env) freeWaiter(w *waiter) {
+	*w = waiter{}
+	e.wtfree = append(e.wtfree, w)
 }
 
 // addWaiter registers a waiter, drawing the backing slice from the recycled

@@ -9,9 +9,17 @@ import (
 
 // Link models a shared transmission link as a fluid-flow system: every
 // active flow receives a max-min fair share of the link capacity, subject to
-// an optional per-flow rate cap (the far end's own access bandwidth). Rates
-// are recomputed on every flow arrival and departure and the next completion
-// event is rescheduled accordingly.
+// an optional per-flow rate cap (the far end's own access bandwidth). Flow
+// arrivals and departures mark the link dirty; the environment recomputes
+// the waterfill and reschedules the next completion event exactly once per
+// simulated instant, when the clock is about to advance (see Env.Run). A
+// synchronized crowd of N arrivals at one timestamp therefore costs one
+// recomputation, not N. Within an instant no virtual time passes, so the
+// deferred rates, byte accounting, and completion instants equal the eager
+// kernel's — the differential tests verify it end to end against the
+// reference immediate-reallocate kernel (see env.go's package comment for
+// the two narrow divergences: same-nanosecond tie-break order of the
+// completion callback, and sampling density).
 //
 // This is the standard flow-level abstraction of TCP bandwidth sharing: with
 // N long-lived flows on a C-bit/s link, each receives ≈ C/N. It captures the
@@ -23,6 +31,7 @@ type Link struct {
 	capacity   float64 // bytes per second
 	flows      []*Flow // insertion order; iteration must stay deterministic
 	scratch    []*Flow // reusable sort buffer for reallocate
+	dirty      bool    // registered on env.dirty for the end-of-instant flush
 	lastUpd    time.Duration
 	next       Timer
 	completeFn func() // l.complete, bound once to avoid a per-reallocate closure
@@ -101,6 +110,8 @@ func (l *Link) Utilization() float64 {
 
 // EnableSampling records a RateSample on every reallocation, for the
 // atop-style monitor. Sampling is off by default to keep memory flat.
+// Under the batched kernel reallocation runs once per instant, so N flow
+// changes at one timestamp yield one sample (the settled rates), not N.
 func (l *Link) EnableSampling() { l.sampling = true }
 
 // Samples returns the recorded rate series (nil unless EnableSampling).
@@ -111,9 +122,10 @@ func (l *Link) Samples() []RateSample { return l.rateSeries }
 func (l *Link) Transfer(p *Proc, bytes float64, cap float64) {
 	fl := l.start(bytes, cap)
 	p.Wait(fl.done)
-	// Completed and waited: no one else saw this flow's event.
+	// Completed and waited: no one else saw this flow's event, and complete
+	// already removed the flow from the link, so both recycle.
 	l.env.FreeEvent(fl.done)
-	fl.done = nil
+	l.env.freeFlow(fl)
 }
 
 // TransferTimeout is Transfer with a deadline. If the deadline passes first
@@ -124,10 +136,11 @@ func (l *Link) TransferTimeout(p *Proc, bytes, cap float64, d time.Duration) boo
 	if !ok {
 		l.abort(fl)
 	}
-	// Either way the event is dead: triggered-and-waited, or aborted with
-	// only our (now stale) waiter registered.
+	// Either way the event is dead (triggered-and-waited, or aborted with
+	// only our now-stale waiter registered) and the flow is off the link
+	// (retired by complete, or removed by abort), so both recycle.
 	l.env.FreeEvent(fl.done)
-	fl.done = nil
+	l.env.freeFlow(fl)
 	return ok
 }
 
@@ -145,12 +158,16 @@ func (l *Link) start(bytes, cap float64) *Flow {
 		cap = math.Inf(1)
 	}
 	l.advance()
-	fl := &Flow{remaining: bytes, cap: cap, done: l.env.NewEvent(), started: l.env.now}
+	fl := l.env.newFlow()
+	fl.remaining = bytes
+	fl.cap = cap
+	fl.done = l.env.NewEvent()
+	fl.started = l.env.now
 	l.flows = append(l.flows, fl)
 	if len(l.flows) > l.maxActive {
 		l.maxActive = len(l.flows)
 	}
-	l.reallocate()
+	l.changed()
 	return fl
 }
 
@@ -161,7 +178,22 @@ func (l *Link) abort(fl *Flow) {
 	}
 	l.advance()
 	l.flows = slices.Delete(l.flows, i, i+1)
-	l.reallocate()
+	l.changed()
+}
+
+// changed records that the flow set was mutated at the current instant. In
+// the batched kernel it registers the link for the end-of-instant flush; in
+// the reference immediate kernel it recomputes on the spot.
+func (l *Link) changed() {
+	if l.env.immediate {
+		l.reallocate()
+		return
+	}
+	if l.dirty {
+		return
+	}
+	l.dirty = true
+	l.env.dirty = append(l.env.dirty, l)
 }
 
 // advance progresses all flows by the elapsed wall of virtual time since the
@@ -275,5 +307,5 @@ func (l *Link) complete() {
 		l.flows[i] = nil
 	}
 	l.flows = keep
-	l.reallocate()
+	l.changed()
 }

@@ -92,15 +92,19 @@ func (r *Resource) Acquire(p *Proc) {
 		r.take()
 		return
 	}
-	w := &waiter{ev: r.env.NewEvent()}
+	w := r.env.newWaiter()
+	w.ev = r.env.NewEvent()
 	r.queue = append(r.queue, w)
 	if q := r.QueueLen(); q > r.maxQueue {
 		r.maxQueue = q
 	}
 	p.Wait(w.ev)
-	// The releaser transferred the unit to us (take() already ran); the
-	// trigger event is ours alone, so it goes back to the pool.
-	r.env.FreeEvent(w.ev)
+	// The releaser transferred the unit to us (take() already ran) and
+	// popped w off the queue; the trigger event and the waiter node are
+	// ours alone, so both go back to the pool.
+	ev := w.ev
+	r.env.freeWaiter(w)
+	r.env.FreeEvent(ev)
 }
 
 // TryAcquire takes a unit if one is free right now, reporting success.
@@ -119,13 +123,18 @@ func (r *Resource) AcquireTimeout(p *Proc, d time.Duration) bool {
 		r.take()
 		return true
 	}
-	w := &waiter{ev: r.env.NewEvent()}
+	w := r.env.newWaiter()
+	w.ev = r.env.NewEvent()
 	r.queue = append(r.queue, w)
 	if q := r.QueueLen(); q > r.maxQueue {
 		r.maxQueue = q
 	}
 	if p.WaitTimeout(w.ev, d) {
-		r.env.FreeEvent(w.ev)
+		// Success implies a releaser popped w and triggered its event, so
+		// the node and event are ours to recycle, as in Acquire.
+		ev := w.ev
+		r.env.freeWaiter(w)
+		r.env.FreeEvent(ev)
 		return true
 	}
 	// Timed out: mark the waiter canceled so a future release skips it.
@@ -152,8 +161,11 @@ func (r *Resource) Release() {
 		w := r.queue[0]
 		r.queue = r.queue[1:]
 		if w.canceled {
-			// The timed-out waiter abandoned this never-triggered event.
-			r.env.FreeEvent(w.ev)
+			// The timed-out waiter abandoned this never-triggered event
+			// and its queue node; recycle both.
+			ev := w.ev
+			r.env.freeWaiter(w)
+			r.env.FreeEvent(ev)
 			continue
 		}
 		// Hand the unit straight to the waiter: counts as taken now so

@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode locks the hostile-datagram contract: Decode must never panic,
+// must reject anything outside the closed message-type set, and anything it
+// accepts must re-encode (modulo the size bound). Receive loops treat every
+// Decode error as "drop and keep serving", so error-vs-success is the whole
+// safety boundary. Seed corpus: testdata/fuzz/FuzzDecode plus the seeds
+// below (one valid message per type, truncated JSON, unknown types,
+// oversized input).
+func FuzzDecode(f *testing.F) {
+	for typ := range knownTypes {
+		valid, err := Encode(&Message{Type: typ, ClientID: "pl001", Seq: 7})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(valid)
+		f.Add(valid[:len(valid)/2]) // truncated mid-datagram
+	}
+	full, err := Encode(&Message{
+		Type: TypeResults, ClientID: "pl042", Epoch: 3,
+		Samples: []Sample{{Client: "pl042", URL: "/q?id=1", Status: 200, Bytes: 512, RespNs: 1e6}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full)
+	f.Add([]byte(`{"t":"bogus","id":"x"}`))
+	f.Add([]byte(`{"t":"","id":"x"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add(bytes.Repeat([]byte("a"), MaxDatagram+1))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Decode(b)
+		if err != nil {
+			if m != nil {
+				t.Fatal("Decode returned both a message and an error")
+			}
+			return
+		}
+		if len(b) > MaxDatagram {
+			t.Fatalf("Decode accepted a %d-byte datagram over the %d bound", len(b), MaxDatagram)
+		}
+		if !knownTypes[m.Type] {
+			t.Fatalf("Decode accepted unknown type %q", m.Type)
+		}
+		// Accepted messages must survive the return path. The only tolerable
+		// failure is the size bound: JSON escaping can legitimately re-encode
+		// longer than the accepted input.
+		if _, err := Encode(m); err != nil && !strings.Contains(err.Error(), "exceeds") {
+			t.Fatalf("accepted message does not re-encode: %v", err)
+		}
+	})
+}
