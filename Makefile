@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-short bench-check experiments fuzz campaign-smoke ci
+.PHONY: build test race vet fmt-check bench bench-short bench-check experiments fuzz campaign-smoke api apicheck ci
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,22 @@ test:
 	$(GO) test ./...
 
 # Race coverage on the packages that own concurrency: the worker pool, the
-# DES kernel it drives, and the experiments layer that fans out on it.
+# DES kernel it drives, the coordinator (event stream + cancellation), and
+# the experiments/campaign layers that fan out on it.
 race:
-	$(GO) test -race ./internal/runner ./internal/netsim ./internal/experiments ./internal/campaign
+	$(GO) test -race ./internal/runner ./internal/netsim ./internal/core ./internal/experiments ./internal/campaign
+
+# API-surface lock: api.txt is the checked-in `go doc -all` of the public
+# package. `make api` regenerates it after an intentional API change;
+# `make apicheck` fails when the surface drifted without the file being
+# updated, so PRs cannot silently break the public contract.
+api:
+	$(GO) doc -all . > api.txt
+
+apicheck:
+	@$(GO) doc -all . > /tmp/api-current.txt; \
+	if ! diff -u api.txt /tmp/api-current.txt; then \
+		echo "public API surface drifted: run 'make api' and review the diff"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -58,4 +71,4 @@ campaign-smoke:
 	diff /tmp/report-clean.txt /tmp/report-killed.txt
 	@echo "kill+resume report is byte-identical"
 
-ci: build vet fmt-check test race
+ci: build vet fmt-check apicheck test race

@@ -61,9 +61,11 @@ func expectedResource(s Stage) []ResourceKind {
 }
 
 // AttributeResources inspects a simulated run's monitor samples around each
-// stage's stopping epoch and names the saturated resource.
-func AttributeResources(run *SimRun) []Attribution {
-	if run == nil || run.Result == nil {
+// stage's stopping epoch and names the saturated resource. It needs the
+// simulation handles (Session.Server, Session.Monitor), so it applies to
+// SimTarget runs with the monitor on.
+func AttributeResources(run *Session) []Attribution {
+	if run == nil || run.Result == nil || run.Monitor == nil || run.Server == nil {
 		return nil
 	}
 	var out []Attribution

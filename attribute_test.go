@@ -1,6 +1,7 @@
 package mfc
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -14,7 +15,7 @@ func TestAttributionNamesTheRightResource(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxCrowd = 50
 	cfg.Threshold = 150 * time.Millisecond
-	run, err := RunSimulatedDetailed(SimTarget{
+	run, err := Run(context.Background(), SimTarget{
 		Server: srvCfg, Site: site, Clients: 55, LAN: true, Seed: 6,
 	}, cfg)
 	if err != nil {
@@ -55,7 +56,7 @@ func TestAttributionNamesTheRightResource(t *testing.T) {
 func TestAttributionNoStopIsNone(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxCrowd = 30
-	run, err := RunSimulatedDetailed(SimTarget{
+	run, err := Run(context.Background(), SimTarget{
 		Server: PresetQTP(), Site: PresetQTSite(7), Clients: 60, Seed: 8,
 	}, cfg)
 	if err != nil {

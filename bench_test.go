@@ -1,4 +1,4 @@
-package mfc
+package mfc_test
 
 // The benchmark harness: one testing.B per table and figure of the paper's
 // evaluation (plus the DESIGN.md ablations). Each benchmark regenerates its
@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"mfc"
 	"mfc/internal/experiments"
 	"mfc/internal/websim"
 )
@@ -338,11 +339,11 @@ func BenchmarkUseCaseCompareDeployments(b *testing.B) {
 // three-stage experiment on the simulator — the unit everything above is
 // built from.
 func BenchmarkSimulatedExperiment(b *testing.B) {
-	cfg := DefaultConfig()
+	cfg := mfc.DefaultConfig()
 	cfg.MaxCrowd = 50
 	for i := 0; i < b.N; i++ {
-		_, err := RunSimulated(SimTarget{
-			Server: PresetQTNP(), Site: PresetQTSite(7), Clients: 65, Seed: int64(i + 1),
+		_, err := mfc.RunSimulated(mfc.SimTarget{
+			Server: mfc.PresetQTNP(), Site: mfc.PresetQTSite(7), Clients: 65, Seed: int64(i + 1),
 		}, cfg)
 		if err != nil {
 			b.Fatal(err)

@@ -20,7 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -168,19 +170,10 @@ func cmdRun(args []string, resume bool) error {
 	}
 
 	opts := campaign.Options{Workers: *workers, HaltAfter: *haltAfter}
-	var lastLine atomic.Int64
 	if !*quiet {
-		start := time.Now()
-		opts.Progress = func(done, total int) {
-			// Throttle to ~10 lines/sec; the final completion always prints.
-			now := time.Now().UnixMilli()
-			last := lastLine.Load()
-			if done < total && (now-last < 100 || !lastLine.CompareAndSwap(last, now)) {
-				return
-			}
-			fmt.Fprintf(os.Stderr, "\r%d/%d sites (%.1f%%) %.0fs elapsed ",
-				done, total, 100*float64(done)/float64(total), time.Since(start).Seconds())
-		}
+		p := newProgress()
+		opts.OnStart = p.start
+		opts.OnEvent = p.onEvent
 	}
 	st, err := campaign.Run(context.Background(), *dir, opts)
 	if !*quiet {
@@ -196,6 +189,103 @@ func cmdRun(args []string, resume bool) error {
 	fmt.Printf("%s: %d/%d jobs done (%d skipped as already complete, %d new, %d errored)\n",
 		verb, st.Done(), st.Total, st.AlreadyDone, st.NewlyDone, st.Errored)
 	return nil
+}
+
+// progress renders the live line from the campaign's typed event stream:
+// overall completion from the terminal ExperimentFinished events, epoch
+// throughput from EpochCompleted, and a per-band ETA extrapolated from
+// each band's observed completion rate.
+type progress struct {
+	mu      sync.Mutex
+	started time.Time
+	total   int
+	already int
+	done    int
+	epochs  int64 // updated outside mu: atomic
+
+	order []string
+	bands map[string]*bandState
+
+	lastLine atomic.Int64
+}
+
+type bandState struct {
+	pending int
+	done    int
+	first   time.Time // first completion in this band
+}
+
+func newProgress() *progress {
+	return &progress{started: time.Now(), bands: map[string]*bandState{}}
+}
+
+func (p *progress) start(info campaign.StartInfo) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total = info.Total
+	p.already = info.AlreadyDone
+	for band, n := range info.PendingByBand {
+		p.bands[band] = &bandState{pending: n}
+		p.order = append(p.order, band)
+	}
+	sort.Strings(p.order)
+}
+
+func (p *progress) onEvent(ev campaign.SiteEvent) {
+	switch ev.Event.(type) {
+	case core.EpochCompleted:
+		atomic.AddInt64(&p.epochs, 1)
+		return
+	case core.ExperimentFinished:
+	default:
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	b := p.bands[ev.Band]
+	if b != nil {
+		if b.done == 0 {
+			b.first = time.Now()
+		}
+		b.done++
+	}
+	line := p.renderLocked()
+	final := p.already+p.done >= p.total
+	p.mu.Unlock()
+
+	// Throttle to ~10 lines/sec; the final completion always prints.
+	now := time.Now().UnixMilli()
+	last := p.lastLine.Load()
+	if !final && (now-last < 100 || !p.lastLine.CompareAndSwap(last, now)) {
+		return
+	}
+	fmt.Fprint(os.Stderr, line)
+}
+
+func (p *progress) renderLocked() string {
+	var b strings.Builder
+	overall := p.already + p.done
+	fmt.Fprintf(&b, "\r%d/%d sites (%.1f%%) %.0fs %d epochs",
+		overall, p.total, 100*float64(overall)/float64(p.total),
+		time.Since(p.started).Seconds(), atomic.LoadInt64(&p.epochs))
+	for _, band := range p.order {
+		bs := p.bands[band]
+		if bs.pending == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, " | %s %d/%d", band, bs.done, bs.pending)
+		// Rate from the completions *after* the first (the first only
+		// anchors the clock); one data point is not a rate yet.
+		if left := bs.pending - bs.done; left > 0 && bs.done >= 2 {
+			if elapsed := time.Since(bs.first).Seconds(); elapsed > 0 {
+				rate := float64(bs.done-1) / elapsed
+				eta := time.Duration(float64(left)/rate) * time.Second
+				fmt.Fprintf(&b, " eta %s", eta.Round(time.Second))
+			}
+		}
+	}
+	b.WriteString(" ")
+	return b.String()
 }
 
 func cmdReport(args []string) error {

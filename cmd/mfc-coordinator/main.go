@@ -8,20 +8,21 @@
 //
 //	mfc-coordinator -listen :7420 -target http://server.example/ \
 //	    [-min-agents 50] [-register-wait 60s] [-threshold 100ms] ...
+//
+// Ctrl-C aborts at the next epoch boundary and prints the partial result.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"net/url"
 	"os"
+	"os/signal"
 	"time"
 
-	"mfc/internal/content"
-	"mfc/internal/core"
-	"mfc/internal/liveplat"
+	"mfc"
 )
 
 func main() {
@@ -42,47 +43,33 @@ func main() {
 		os.Exit(2)
 	}
 
-	plat, err := liveplat.NewUDPPlatform(*listen, *target, log.Printf)
-	if err != nil {
-		log.Fatalf("mfc-coordinator: %v", err)
-	}
-	defer plat.Close()
-	log.Printf("listening for agents on %s; waiting up to %v for %d registrations",
-		plat.Addr(), *regWait, *minAgents)
-	got := plat.WaitForAgents(*minAgents, time.Now().Add(*regWait))
-	if got < *minAgents {
-		log.Fatalf("mfc-coordinator: only %d agents registered (need %d); aborting per the MinClients rule", got, *minAgents)
-	}
-
-	fetcher, err := liveplat.NewHTTPFetcher(*target)
-	if err != nil {
-		log.Fatalf("mfc-coordinator: %v", err)
-	}
-	basePath := "/"
-	if u, err := url.Parse(*target); err == nil && u.Path != "" {
-		basePath = u.Path
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
-	defer cancel()
-	prof, err := content.Crawl(ctx, fetcher, *target, basePath, content.CrawlConfig{MaxObjects: *crawlMax})
-	if err != nil {
-		log.Fatalf("mfc-coordinator: profiling: %v", err)
-	}
-	log.Println(prof)
-
-	cfg := core.DefaultConfig()
+	cfg := mfc.DefaultConfig()
 	cfg.Threshold = *threshold
 	cfg.Step = *step
 	cfg.MaxCrowd = *max
 	cfg.MinClients = *minAgents
 	cfg.MultiRequest = *mr
 
-	coord := core.NewCoordinator(plat, cfg, log.Printf)
-	res, err := coord.RunExperiment(*target, prof)
-	if err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	log.Printf("waiting up to %v for %d agent registrations (listen address %s)",
+		*regWait, *minAgents, *listen)
+	run, err := mfc.Run(ctx, mfc.LiveTarget{
+		URL:          *target,
+		Listen:       *listen,
+		MinAgents:    *minAgents,
+		RegisterWait: *regWait,
+		CrawlMax:     *crawlMax,
+		Logf:         log.Printf,
+	}, cfg, mfc.WithObserver(mfc.LogObserver(log.Printf)))
+	if errors.Is(err, context.Canceled) && run != nil {
+		log.Println("interrupted; partial result follows")
+	} else if err != nil {
 		log.Fatalf("mfc-coordinator: %v", err)
 	}
-	fmt.Print(res)
+	log.Println(run.Profile)
+	fmt.Print(run.Result)
 	fmt.Println()
-	fmt.Print(core.Assess(res))
+	fmt.Print(mfc.Assess(run.Result))
 }

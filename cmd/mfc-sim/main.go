@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -98,19 +99,18 @@ func main() {
 		cfg.MinClients = *clients
 	}
 
-	var logf func(string, ...any)
+	var opts []mfc.RunOption
 	if *verbose {
-		logf = log.Printf
+		opts = append(opts, mfc.WithObserver(mfc.LogObserver(log.Printf)))
 	}
 	t0 := time.Now()
-	run, err := mfc.RunSimulatedDetailed(mfc.SimTarget{
+	run, err := mfc.Run(context.Background(), mfc.SimTarget{
 		Server:     srv,
 		Site:       site,
 		Clients:    *clients,
 		Seed:       *seed,
 		Background: mfc.BackgroundConfig{Rate: *bgRate},
-		Logf:       logf,
-	}, cfg)
+	}, cfg, opts...)
 	if err != nil {
 		log.Fatalf("mfc-sim: %v", err)
 	}

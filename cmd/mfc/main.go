@@ -8,21 +8,21 @@
 //	mfc -target http://server.example/ [-clients 50] [-threshold 100ms]
 //	    [-step 5] [-max 50] [-mr 1] [-stagger 0] [-min-clients 50]
 //
+// Ctrl-C aborts at the next epoch boundary and prints the partial result.
 // Only profile servers you operate or have permission to test.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"net/url"
 	"os"
+	"os/signal"
 	"time"
 
-	"mfc/internal/content"
-	"mfc/internal/core"
-	"mfc/internal/liveplat"
+	"mfc"
 )
 
 func main() {
@@ -45,34 +45,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	parsed, err := url.Parse(*target)
-	if err != nil {
-		log.Fatalf("mfc: bad -target: %v", err)
-	}
-	basePath := parsed.Path
-	if basePath == "" {
-		basePath = "/"
-	}
 
-	// Profiling stage: crawl and classify the target's content.
-	fetcher, err := liveplat.NewHTTPFetcher(*target)
-	if err != nil {
-		log.Fatalf("mfc: %v", err)
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
-	defer cancel()
-	fmt.Fprintf(os.Stderr, "profiling %s ...\n", *target)
-	prof, err := content.Crawl(ctx, fetcher, *target, basePath, content.CrawlConfig{MaxObjects: *crawlMax})
-	if err != nil {
-		log.Fatalf("mfc: profiling: %v", err)
-	}
-	fmt.Fprintln(os.Stderr, prof)
-
-	plat, err := liveplat.NewInProcessPlatform(*target, *clients)
-	if err != nil {
-		log.Fatalf("mfc: %v", err)
-	}
-	cfg := core.DefaultConfig()
+	cfg := mfc.DefaultConfig()
 	cfg.Threshold = *threshold
 	cfg.Step = *step
 	cfg.MaxCrowd = *max
@@ -88,17 +62,30 @@ func main() {
 		}
 	}
 
-	var logf func(string, ...any)
+	var opts []mfc.RunOption
 	if *verbose {
-		logf = log.Printf
+		opts = append(opts, mfc.WithObserver(mfc.LogObserver(log.Printf)))
 	}
-	coord := core.NewCoordinator(plat, cfg, logf)
-	res, err := coord.RunExperiment(*target, prof)
-	if err != nil {
+
+	// Ctrl-C cancels the run at the next epoch boundary; the partial
+	// result (interrupted stage tagged Aborted) still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "profiling %s ...\n", *target)
+	run, err := mfc.Run(ctx, mfc.LiveTarget{
+		URL:      *target,
+		Clients:  *clients,
+		CrawlMax: *crawlMax,
+	}, cfg, opts...)
+	if errors.Is(err, context.Canceled) && run != nil {
+		fmt.Fprintln(os.Stderr, "mfc: interrupted; partial result follows")
+	} else if err != nil {
 		log.Fatalf("mfc: %v", err)
 	}
-	fmt.Print(res)
+	fmt.Fprintln(os.Stderr, run.Profile)
+	fmt.Print(run.Result)
 	fmt.Println()
-	fmt.Print(core.Assess(res))
-	fmt.Println(core.CompareStages(res))
+	fmt.Print(mfc.Assess(run.Result))
+	fmt.Println(mfc.CompareStages(run.Result))
 }

@@ -12,23 +12,41 @@
 // crowd size at which a specific server sub-system (request handling,
 // back-end data processing, or access bandwidth) becomes constrained.
 //
-// The package offers three ways to run an experiment:
+// # The Target/Run contract
 //
-//   - RunSimulated: against a configurable discrete-event model of a web
-//     server (internal/websim) with simulated PlanetLab-like clients.
-//     Deterministic, fast, and the substrate for reproducing the paper's
-//     figures and tables (see EXPERIMENTS.md).
-//   - RunLive: against a real HTTP server, with the crowd implemented as
-//     goroutines issuing net/http requests from this process.
-//   - cmd/mfc-coordinator and cmd/mfc-client: a distributed deployment
-//     where remote client agents are driven over the paper's UDP control
-//     protocol.
+// One entry point drives every deployment the paper describes:
 //
-// Start with Quickstart in examples/quickstart, or:
+//	run, err := mfc.Run(ctx, target, cfg, opts...)
+//
+// where target is any Target:
+//
+//   - SimTarget: a configurable discrete-event model of a web installation
+//     (internal/websim) with simulated PlanetLab-like clients. Virtual
+//     time, deterministic in (target, Config) — the substrate for
+//     reproducing the paper's figures and tables (see EXPERIMENTS.md).
+//   - LabTarget: a real instrumented HTTP server started in this process
+//     and profiled over loopback by a goroutine crowd (§3's lab setting).
+//   - LiveTarget: any reachable HTTP server; the crowd is either
+//     in-process goroutines or remote mfc-client agents driven over the
+//     paper's UDP control protocol (§4's wide-area deployment).
+//
+// Run honors ctx at epoch boundaries: cancel it and the in-progress stage
+// returns tagged VerdictAborted, with the partial Result still delivered.
+// Progress streams through typed events (StageStarted, EpochCompleted,
+// MeasurersReserved, CheckPhaseEntered, and a terminal ExperimentFinished
+// exactly once per run) attached with WithObserver; WithStage restricts a
+// run to a single request category.
+//
+// Start with examples/quickstart, or:
 //
 //	cfg := mfc.DefaultConfig()
-//	res, err := mfc.RunSimulated(mfc.SimTarget{
+//	run, err := mfc.Run(ctx, mfc.SimTarget{
 //	    Server: mfc.PresetQTNP(), Site: mfc.PresetQTSite(1), Clients: 65,
 //	}, cfg)
-//	fmt.Print(mfc.Assess(res))
+//	fmt.Print(mfc.Assess(run.Result))
+//
+// The pre-redesign entry points — RunSimulated, RunSimulatedDetailed,
+// RunSimulatedStage and NewCoordinator — remain as thin deprecated shims
+// over Run; facade_test.go proves them equivalent. See DESIGN.md for the
+// migration table.
 package mfc

@@ -1,19 +1,21 @@
 package mfc_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"mfc"
 )
 
-// ExampleRunSimulated profiles the paper's QTNP preset and prints each
-// stage's verdict. Simulated runs are deterministic in (SimTarget, Config),
-// so this example's output is stable.
-func ExampleRunSimulated() {
+// ExampleRun profiles the paper's QTNP preset and prints each stage's
+// verdict. Simulated runs are deterministic in (Target, Config), so this
+// example's output is stable. The same call shape works against LabTarget
+// and LiveTarget.
+func ExampleRun() {
 	cfg := mfc.DefaultConfig()
 	cfg.MaxCrowd = 55
-	res, err := mfc.RunSimulated(mfc.SimTarget{
+	run, err := mfc.Run(context.Background(), mfc.SimTarget{
 		Server:  mfc.PresetQTNP(),
 		Site:    mfc.PresetQTSite(7),
 		Clients: 65,
@@ -23,7 +25,7 @@ func ExampleRunSimulated() {
 		fmt.Println("error:", err)
 		return
 	}
-	for _, sr := range res.Stages {
+	for _, sr := range run.Result.Stages {
 		if sr.Verdict == mfc.VerdictStopped {
 			fmt.Printf("%s: stopped at %d\n", sr.Stage, sr.StoppingCrowd)
 		} else {
@@ -36,10 +38,37 @@ func ExampleRunSimulated() {
 	// LargeObject: NoStop
 }
 
+// ExampleRun_observer streams typed progress events while the experiment
+// runs: the check-phase entries of the deterministic QTNP run.
+func ExampleRun_observer() {
+	cfg := mfc.DefaultConfig()
+	cfg.MaxCrowd = 55
+	_, err := mfc.Run(context.Background(), mfc.SimTarget{
+		Server:  mfc.PresetQTNP(),
+		Site:    mfc.PresetQTSite(7),
+		Clients: 65,
+		Seed:    42,
+	}, cfg, mfc.WithObserver(func(ev mfc.Event) {
+		switch e := ev.(type) {
+		case mfc.CheckPhaseEntered:
+			fmt.Printf("%s: check phase at crowd %d\n", e.Stage, e.Crowd)
+		case mfc.ExperimentFinished:
+			fmt.Printf("finished: %d stages\n", len(e.Result.Stages))
+		}
+	}))
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output:
+	// Base: check phase at crowd 25
+	// SmallQuery: check phase at crowd 50
+	// finished: 3 stages
+}
+
 // ExampleAssess turns a result into the operator-facing DDoS reading.
 func ExampleAssess() {
 	cfg := mfc.DefaultConfig()
-	res, err := mfc.RunSimulated(mfc.SimTarget{
+	run, err := mfc.Run(context.Background(), mfc.SimTarget{
 		Server:  mfc.PresetUniv3(),
 		Site:    mfc.PresetUniv3Site(5),
 		Clients: 65,
@@ -49,31 +78,32 @@ func ExampleAssess() {
 		fmt.Println("error:", err)
 		return
 	}
-	a := mfc.Assess(res)
+	a := mfc.Assess(run.Result)
 	fmt.Println("ddos:", a.DDoS)
 	// Output:
 	// ddos: highly-vulnerable
 }
 
-// ExampleConfig_staggered shows the §6 staggered-arrival extension: the
-// same weak server that keels over under synchronized arrivals absorbs the
-// load when requests are spaced 200ms apart.
-func ExampleConfig_staggered() {
-	run := func(stagger time.Duration) mfc.StageVerdict {
+// ExampleWithStage shows the §6 staggered-arrival extension through the
+// single-stage mode: the same weak server that keels over under
+// synchronized arrivals absorbs the load when requests are spaced 200ms
+// apart.
+func ExampleWithStage() {
+	probe := func(stagger time.Duration) mfc.StageVerdict {
 		cfg := mfc.DefaultConfig()
 		cfg.MaxCrowd = 30
 		cfg.Stagger = stagger
-		sr, _, err := mfc.RunSimulatedStage(mfc.SimTarget{
+		run, err := mfc.Run(context.Background(), mfc.SimTarget{
 			Server: mfc.PresetUniv1(), Site: mfc.PresetUniv1Site(5),
 			Clients: 60, Seed: 3,
-		}, cfg, mfc.StageBase)
+		}, cfg, mfc.WithStage(mfc.StageBase))
 		if err != nil {
 			return mfc.VerdictAborted
 		}
-		return sr.Verdict
+		return run.Result.Stages[0].Verdict
 	}
-	fmt.Println("synchronized:", run(0))
-	fmt.Println("staggered:", run(200*time.Millisecond))
+	fmt.Println("synchronized:", probe(0))
+	fmt.Println("staggered:", probe(200*time.Millisecond))
 	// Output:
 	// synchronized: Stopped
 	// staggered: NoStop

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -30,15 +31,15 @@ func main() {
 	}
 
 	for _, t := range targets {
-		res, err := mfc.RunSimulated(mfc.SimTarget{
+		run, err := mfc.Run(context.Background(), mfc.SimTarget{
 			Server: t.server, Site: t.site, Clients: 65, Seed: 99,
 		}, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		a := mfc.Assess(res)
+		a := mfc.Assess(run.Result)
 		fmt.Printf("=== %s ===\n", t.name)
-		fmt.Print(res)
+		fmt.Print(run.Result)
 		fmt.Print(a)
 		fmt.Println()
 	}

@@ -1,12 +1,14 @@
 // Lab validation (§3): verify that the MFC machinery tracks known
 // synthetic response-time functions and that each request category
 // exercises the intended server resource — the repository's equivalent of
-// Figures 4, 5 and 6.
+// Figures 4, 5 and 6 — then replay the tracking check against a *real*
+// instrumented lab server (mfc.LabTarget) over loopback.
 //
 //	go run ./examples/labvalidation
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -28,11 +30,12 @@ func main() {
 		cfg.MaxCrowd = 15
 	}
 
-	res, err := mfc.RunSimulated(mfc.SimTarget{Server: srv, Site: site, Clients: 65, Seed: 3}, cfg)
+	sim, err := mfc.Run(context.Background(),
+		mfc.SimTarget{Server: srv, Site: site, Clients: 65, Seed: 3}, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	base := res.Stage(mfc.StageBase)
+	base := sim.Result.Stage(mfc.StageBase)
 	crowds, medians := base.CurveMedians()
 	fmt.Println("tracking a linear model (crowd: ideal vs measured):")
 	for i, n := range crowds {
@@ -47,7 +50,7 @@ func main() {
 	if quick {
 		cfg.MaxCrowd = 15
 	}
-	run, err := mfc.RunSimulatedDetailed(mfc.SimTarget{
+	run, err := mfc.Run(context.Background(), mfc.SimTarget{
 		Server: lab, Site: labSite, Clients: 55, LAN: true, Seed: 4,
 	}, cfg)
 	if err != nil {
@@ -69,4 +72,37 @@ func main() {
 		fmt.Printf("  crowd %2d: median +%v\n", n, medians[i].Round(time.Millisecond))
 	}
 	fmt.Printf("  access link delivered %.1f MB total\n", run.Server.AccessLink().BytesSent()/1e6)
+
+	// --- The same call against a REAL lab server (mfc.LabTarget): an
+	// instrumented net/http target started in-process, a goroutine crowd,
+	// genuine requests over loopback, wall-clock time. ---
+	labCfg := mfc.DefaultConfig()
+	labCfg.Threshold = time.Hour // trace, never stop
+	labCfg.Step = 5
+	labCfg.MaxCrowd = 20
+	labCfg.MinClients = 25
+	labCfg.EpochGap = 100 * time.Millisecond
+	labCfg.RequestTimeout = 1500 * time.Millisecond
+	labCfg.ScheduleGuard = 100 * time.Millisecond
+	labClients := 25
+	if quick {
+		labCfg.MaxCrowd = 10
+		labCfg.MinClients = 12
+		labClients = 12
+	}
+	labSess, err := mfc.Run(context.Background(), mfc.LabTarget{
+		Site:    site, // the same validation site, now served for real
+		Model:   mfc.LinearModel{Slope: 4 * time.Millisecond},
+		Clients: labClients,
+	}, labCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreal lab target at %s (linear 4ms model, %d goroutine clients):\n",
+		labSess.URL, labClients)
+	crowds, medians = labSess.Result.Stage(mfc.StageBase).CurveMedians()
+	for i, n := range crowds {
+		fmt.Printf("  crowd %2d: median +%v\n", n, medians[i].Round(time.Millisecond))
+	}
+	fmt.Printf("  target served %d real requests\n", labSess.Lab.Served())
 }

@@ -1,7 +1,7 @@
 // Live target: start a real instrumented HTTP server in this process (the
-// §3.1 lab target), then profile it over loopback with a goroutine crowd
-// issuing genuine net/http requests — the live-mode pipeline end to end,
-// no simulation involved.
+// §3.1 lab target), then profile it over loopback with mfc.Run and a
+// LiveTarget — the live-mode pipeline end to end, no simulation involved.
+// A typed event observer streams per-epoch progress as the run unfolds.
 //
 //	go run ./examples/livetarget
 package main
@@ -18,7 +18,6 @@ import (
 	"mfc"
 	"mfc/internal/content"
 	"mfc/internal/labtarget"
-	"mfc/internal/liveplat"
 	"mfc/internal/websim"
 )
 
@@ -37,30 +36,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer ln.Close()
 	go http.Serve(ln, target)
 	url := "http://" + ln.Addr().String()
 	fmt.Println("instrumented target listening at", url)
 
-	// Profile it: crawl, then run a fast-paced Base stage with a goroutine
-	// crowd (epochs shortened so the example finishes in seconds).
-	fetcher, err := liveplat.NewHTTPFetcher(url)
-	if err != nil {
-		log.Fatal(err)
-	}
-	prof, err := content.Crawl(context.Background(), fetcher, url, "/index.html",
-		content.CrawlConfig{MaxObjects: 100})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(prof)
-
 	clients := 40
 	if quick {
 		clients = 12
-	}
-	plat, err := liveplat.NewInProcessPlatform(url, clients)
-	if err != nil {
-		log.Fatal(err)
 	}
 	cfg := mfc.DefaultConfig()
 	cfg.Threshold = 60 * time.Millisecond
@@ -77,16 +60,27 @@ func main() {
 		cfg.ScheduleGuard = 100 * time.Millisecond
 	}
 
-	coord := mfc.NewCoordinator(plat, cfg, nil)
-	res, err := coord.RunExperiment(url, prof)
+	// One mfc.Run against a LiveTarget: the crawl profiles the server over
+	// real HTTP, then the goroutine crowd ramps against it. The observer
+	// narrates epochs from the typed event stream.
+	run, err := mfc.Run(context.Background(), mfc.LiveTarget{
+		URL:     url,
+		Clients: clients,
+	}, cfg, mfc.WithObserver(func(ev mfc.Event) {
+		if e, ok := ev.(mfc.EpochCompleted); ok {
+			fmt.Printf("  epoch %2d: crowd %2d median +%v\n",
+				e.Epoch, e.Crowd, e.NormMedian.Round(time.Millisecond))
+		}
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(res)
+	fmt.Println(run.Profile)
+	fmt.Print(run.Result)
 
 	// The linear model adds 4ms per pending request, so the 60ms threshold
 	// should be confirmed somewhere in the 15-30 crowd range.
-	if sr := res.Stage(mfc.StageBase); sr != nil && sr.Verdict == mfc.VerdictStopped {
+	if sr := run.Result.Stage(mfc.StageBase); sr != nil && sr.Verdict == mfc.VerdictStopped {
 		fmt.Printf("\nconfirmed degradation at crowd %d (expected: 4ms × crowd ≈ 60ms around 16)\n",
 			sr.StoppingCrowd)
 	}

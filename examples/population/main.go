@@ -15,11 +15,7 @@ import (
 	"time"
 
 	"mfc"
-	"mfc/internal/content"
-	"mfc/internal/core"
-	"mfc/internal/netsim"
 	"mfc/internal/population"
-	"mfc/internal/websim"
 )
 
 var perBand = 25 // sites per band (paper: ~100-150)
@@ -67,32 +63,22 @@ func main() {
 }
 
 func measure(stage mfc.Stage, sample population.SiteSample, seed int64) (int, bool) {
-	env := netsim.NewEnv(seed)
-	server := websim.NewServer(env, sample.Config, sample.Site)
-	plat := core.NewSimPlatform(env, server, core.PlanetLabSpecs(env, 55))
-	prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: sample.Site},
-		sample.Site.Host, sample.Site.Base, content.CrawlConfig{})
-	if err != nil {
-		log.Fatal(err)
-	}
 	cfg := mfc.DefaultConfig()
 	cfg.Threshold = 100 * time.Millisecond
 	cfg.MaxCrowd = 50
 	cfg.MinClients = 50
-	var sr *core.StageResult
-	env.Go("coordinator", func(p *netsim.Proc) {
-		plat.Bind(p)
-		coord := core.NewCoordinator(plat, cfg, nil)
-		if err := coord.Register(); err != nil {
-			log.Fatal(err)
-		}
-		sr = coord.RunStage(stage, prof)
-	})
-	env.Run(0)
+	run, err := mfc.Run(context.Background(), mfc.SimTarget{
+		Server: sample.Config, Site: sample.Site, Clients: 55, Seed: seed,
+		NoAccessLog: true, MonitorPeriod: -1,
+	}, cfg, mfc.WithStage(stage))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr := run.Result.Stages[0]
 	switch sr.Verdict {
-	case core.VerdictStopped:
+	case mfc.VerdictStopped:
 		return sr.StoppingCrowd, true
-	case core.VerdictNoStop:
+	case mfc.VerdictNoStop:
 		return 0, true
 	default:
 		return 0, false

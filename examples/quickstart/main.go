@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -22,8 +23,10 @@ func main() {
 	}
 
 	// QTNP is the top-50 commercial site's non-production twin from §4.1:
-	// strong pipe, heavy base-page path, a contended query backend.
-	res, err := mfc.RunSimulated(mfc.SimTarget{
+	// strong pipe, heavy base-page path, a contended query backend. The
+	// same mfc.Run call works for lab and live targets — see
+	// examples/labvalidation and examples/livetarget.
+	run, err := mfc.Run(context.Background(), mfc.SimTarget{
 		Server:  mfc.PresetQTNP(),
 		Site:    mfc.PresetQTSite(7),
 		Clients: 65, // simulated PlanetLab nodes
@@ -33,8 +36,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Print(res)
+	fmt.Print(run.Result)
 	fmt.Println()
-	fmt.Print(mfc.Assess(res))
-	fmt.Println(mfc.CompareStages(res))
+	fmt.Print(mfc.Assess(run.Result))
+	fmt.Println(mfc.CompareStages(run.Result))
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -30,13 +31,13 @@ func main() {
 		cfg.MaxCrowd = maxCrowd
 		cfg.Stagger = stagger
 
-		res, err := mfc.RunSimulated(mfc.SimTarget{
+		run, err := mfc.Run(context.Background(), mfc.SimTarget{
 			Server: mfc.PresetUniv1(), Site: mfc.PresetUniv1Site(5), Clients: 65, Seed: 4,
 		}, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sr := res.Stage(mfc.StageBase)
+		sr := run.Result.Stage(mfc.StageBase)
 		var maxMed time.Duration
 		for _, e := range sr.Epochs {
 			if e.NormMedian > maxMed {

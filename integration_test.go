@@ -9,15 +9,14 @@ import (
 	"mfc/internal/content"
 	"mfc/internal/core"
 	"mfc/internal/labtarget"
-	"mfc/internal/liveplat"
 	"mfc/internal/websim"
 )
 
 // TestLiveInProcessEndToEnd runs the full live pipeline with no simulation:
-// a real instrumented HTTP target, the profiling crawl over net/http, and a
-// goroutine crowd driven by the coordinator. The target's linear model adds
-// 4ms per pending request, so a 60ms threshold must confirm around crowd
-// 15-30.
+// one mfc.Run against a LiveTarget — a real instrumented HTTP target, the
+// profiling crawl over net/http, and a goroutine crowd driven by the
+// coordinator. The target's linear model adds 4ms per pending request, so
+// a 60ms threshold must confirm around crowd 15-30.
 func TestLiveInProcessEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live integration takes a few seconds of wall time")
@@ -28,23 +27,6 @@ func TestLiveInProcessEndToEnd(t *testing.T) {
 	ts := httptest.NewServer(target)
 	defer ts.Close()
 
-	fetcher, err := liveplat.NewHTTPFetcher(ts.URL)
-	if err != nil {
-		t.Fatal(err)
-	}
-	prof, err := content.Crawl(context.Background(), fetcher, ts.URL, "/index.html",
-		content.CrawlConfig{MaxObjects: 100})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !prof.HasSmallQuery() {
-		t.Fatal("crawl found no queries on the lab target")
-	}
-
-	plat, err := liveplat.NewInProcessPlatform(ts.URL, 40)
-	if err != nil {
-		t.Fatal(err)
-	}
 	cfg := DefaultConfig()
 	cfg.Threshold = 60 * time.Millisecond
 	cfg.Step = 5
@@ -54,11 +36,18 @@ func TestLiveInProcessEndToEnd(t *testing.T) {
 	cfg.RequestTimeout = 1500 * time.Millisecond
 	cfg.ScheduleGuard = 150 * time.Millisecond
 
-	coord := NewCoordinator(plat, cfg, nil)
-	if err := coord.Register(); err != nil {
+	run, err := Run(context.Background(), LiveTarget{
+		URL:      ts.URL,
+		Clients:  40,
+		CrawlMax: 100,
+	}, cfg, WithStage(StageBase))
+	if err != nil {
 		t.Fatal(err)
 	}
-	sr := coord.RunStage(StageBase, prof)
+	if !run.Profile.HasSmallQuery() {
+		t.Fatal("crawl found no queries on the lab target")
+	}
+	sr := run.Result.Stages[0]
 	if sr.Verdict != VerdictStopped {
 		t.Fatalf("verdict = %v, want Stopped (4ms × crowd crosses 60ms)", sr.Verdict)
 	}
@@ -67,6 +56,47 @@ func TestLiveInProcessEndToEnd(t *testing.T) {
 	}
 	if target.Served() == 0 {
 		t.Error("target served no requests")
+	}
+	if run.URL != ts.URL {
+		t.Errorf("Session.URL = %q, want %q", run.URL, ts.URL)
+	}
+}
+
+// TestLabTargetEndToEnd drives mfc.Run against a LabTarget: the API starts
+// its own instrumented server, and the Session exposes it.
+func TestLabTargetEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lab integration takes a few seconds of wall time")
+	}
+	site := content.Generate("lab-int", 13, content.GenConfig{Pages: 10, Queries: 5})
+	cfg := DefaultConfig()
+	cfg.Threshold = time.Hour // trace only: keep the test about plumbing
+	cfg.Step = 4
+	cfg.MaxCrowd = 8
+	cfg.MinClients = 10
+	cfg.EpochGap = 50 * time.Millisecond
+	cfg.RequestTimeout = 1500 * time.Millisecond
+	cfg.ScheduleGuard = 100 * time.Millisecond
+
+	run, err := Run(context.Background(), LabTarget{
+		Site:    site,
+		Model:   LinearModel{Slope: 2 * time.Millisecond},
+		Clients: 10,
+	}, cfg, WithStage(StageBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Lab == nil {
+		t.Fatal("Session.Lab missing")
+	}
+	if run.Lab.Served() == 0 {
+		t.Error("lab target served no requests")
+	}
+	if len(run.Result.Stages[0].Epochs) == 0 {
+		t.Error("no epochs against the lab target")
+	}
+	if run.URL == "" {
+		t.Error("Session.URL missing")
 	}
 }
 

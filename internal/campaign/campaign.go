@@ -8,12 +8,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"mfc/internal/content"
+	"mfc"
 	"mfc/internal/core"
-	"mfc/internal/netsim"
 	"mfc/internal/population"
 	"mfc/internal/runner"
-	"mfc/internal/websim"
 )
 
 // Options tunes one Run invocation (never the campaign's results — those
@@ -26,16 +24,44 @@ type Options struct {
 	// CheckpointEvery writes the manifest after this many new completions
 	// (default 64; the final manifest is always written).
 	CheckpointEvery int
-	// HaltAfter stops claiming new jobs once this many new completions
-	// have landed (0 = run to completion). In-flight jobs finish and are
+	// HaltAfter stops claiming new jobs once this many sites have finished
+	// measuring (0 = run to completion). The count is driven by the
+	// per-site ExperimentFinished events. In-flight jobs finish and are
 	// stored. This is how tests and CI simulate a killed campaign
 	// deterministically; a real kill -9 is also safe, it just loses the
 	// in-flight jobs.
 	HaltAfter int
-	// Progress, when non-nil, observes (done, total) after every
-	// completion. Called from pool workers; must be cheap and
+	// Progress, when non-nil, observes (done, total) after every site's
+	// terminal event. Called from pool workers; must be cheap and
 	// concurrency-safe.
 	Progress func(done, total int)
+	// OnStart, when non-nil, observes the campaign's shape before any job
+	// runs — the state a progress display needs to compute per-band ETAs.
+	OnStart func(info StartInfo)
+	// OnEvent, when non-nil, receives every site's coordinator events
+	// (StageStarted, EpochCompleted, ..., terminal ExperimentFinished),
+	// tagged with the job's identity. Jobs that fail before a coordinator
+	// runs still deliver exactly one terminal event. Called from pool
+	// workers; must be cheap and concurrency-safe.
+	OnEvent func(ev SiteEvent)
+}
+
+// StartInfo describes a Run invocation before its first job.
+type StartInfo struct {
+	Total       int // jobs in the plan
+	AlreadyDone int // jobs completed before this run
+	// PendingByBand counts this run's remaining jobs per band name.
+	PendingByBand map[string]int
+}
+
+// SiteEvent is one coordinator event tagged with the campaign job that
+// produced it.
+type SiteEvent struct {
+	Job   int
+	Band  string
+	Stage string
+	Site  string
+	Event core.Event
 }
 
 // Status summarizes one Run invocation.
@@ -92,6 +118,13 @@ func Run(ctx context.Context, dir string, opts Options) (*Status, error) {
 	}
 
 	st := &Status{Total: total, AlreadyDone: len(completed)}
+	if opts.OnStart != nil {
+		byBand := make(map[string]int)
+		for _, j := range pending {
+			byBand[plan.Cells[plan.CellOf(j)].Band]++
+		}
+		opts.OnStart(StartInfo{Total: total, AlreadyDone: st.AlreadyDone, PendingByBand: byBand})
+	}
 	if len(pending) == 0 {
 		return st, ckpt.write()
 	}
@@ -101,8 +134,9 @@ func Run(ctx context.Context, dir string, opts Options) (*Status, error) {
 		checkpointEvery = 64
 	}
 
-	// HaltAfter cancels the job context once enough new completions have
-	// landed; the pool then stops claiming indexes and drains.
+	// HaltAfter cancels the job context once enough sites have finished;
+	// the pool then stops claiming indexes and drains. The count keys off
+	// each site's terminal ExperimentFinished event (exactly one per job).
 	jobCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -110,14 +144,12 @@ func Run(ctx context.Context, dir string, opts Options) (*Status, error) {
 		newly   atomic.Int64
 		errored atomic.Int64
 	)
-	runErr := runner.ForEach(jobCtx, len(pending), func(_ context.Context, i int) error {
-		job := pending[i]
-		rec := measureJob(plan, job)
-		if err := store.Append(rec); err != nil {
-			return err // a dead store is fatal: nothing can be recorded
+	onSite := func(ev SiteEvent) {
+		if opts.OnEvent != nil {
+			opts.OnEvent(ev)
 		}
-		if rec.Err != "" {
-			errored.Add(1)
+		if _, ok := ev.Event.(core.ExperimentFinished); !ok {
+			return
 		}
 		n := newly.Add(1)
 		if opts.Progress != nil {
@@ -125,6 +157,16 @@ func Run(ctx context.Context, dir string, opts Options) (*Status, error) {
 		}
 		if opts.HaltAfter > 0 && int(n) >= opts.HaltAfter {
 			cancel()
+		}
+	}
+	runErr := runner.ForEach(jobCtx, len(pending), func(_ context.Context, i int) error {
+		job := pending[i]
+		rec := measureJob(plan, job, onSite)
+		if err := store.Append(rec); err != nil {
+			return err // a dead store is fatal: nothing can be recorded
+		}
+		if rec.Err != "" {
+			errored.Add(1)
 		}
 		return ckpt.jobDone(job, checkpointEvery)
 	}, runner.Workers(opts.Workers), runner.Shared())
@@ -192,18 +234,41 @@ func (c *checkpointState) writeLocked() error {
 // measureJob runs job j of the plan: generate the site in O(1) from its
 // index, simulate one single-stage MFC against it, and package the
 // outcome. Everything is derived from (plan, j); errors are captured in
-// the record.
-func measureJob(plan *Plan, j int) *Record {
+// the record. onEvent receives the site's tagged coordinator events and is
+// guaranteed exactly one terminal ExperimentFinished per job, even when
+// the measurement fails before a coordinator runs.
+func measureJob(plan *Plan, j int, onEvent func(SiteEvent)) *Record {
 	cell := plan.Cells[plan.CellOf(j)]
 	band, _ := population.ParseBand(cell.Band) // validated at load
 	stage, _ := ParseStage(cell.Stage)         // validated at load
 	sample := population.SampleAt(band, plan.SiteOf(j), plan.Seed)
 
 	rec := &Record{Job: j, Site: sample.Name, Band: cell.Band, Stage: cell.Stage}
-	sr, err := measureSample(plan, stage, sample)
+	// finished needs no lock: mfc.Run delivers every event before it
+	// returns (the simulated coordinator joins at calendar exhaustion), so
+	// all writes happen-before the read below. A Target whose execute did
+	// not join its coordinator goroutine would break this — and the
+	// exactly-once guarantee — so don't add one.
+	finished := false
+	var obs core.Observer
+	if onEvent != nil {
+		obs = func(ev core.Event) {
+			if _, ok := ev.(core.ExperimentFinished); ok {
+				finished = true
+			}
+			onEvent(SiteEvent{Job: j, Band: cell.Band, Stage: cell.Stage, Site: sample.Name, Event: ev})
+		}
+	}
+	sr, err := measureSample(plan, stage, sample, obs)
 	if err != nil {
 		rec.Verdict = "Error"
 		rec.Err = err.Error()
+		if onEvent != nil && !finished {
+			// The run died before its terminal event (crawl error, panic):
+			// synthesize it so every job delivers exactly one.
+			onEvent(SiteEvent{Job: j, Band: cell.Band, Stage: cell.Stage, Site: sample.Name,
+				Event: core.ExperimentFinished{Target: sample.Name, Err: err.Error()}})
+		}
 		return rec
 	}
 	rec.Verdict = sr.Verdict.String()
@@ -217,43 +282,31 @@ func measureJob(plan *Plan, j int) *Record {
 
 // measureSample is the single-site, single-stage measurement §5 performs:
 // standard MFC at the plan's θ/step/ceiling against a fresh simulated
-// deployment of the sampled server.
-func measureSample(plan *Plan, stage core.Stage, sample population.SiteSample) (res *core.StageResult, err error) {
+// deployment of the sampled server. The run is deliberately lean — no
+// access log, no resource monitor — so a 10k-site campaign's memory stays
+// flat. Jobs always run to completion (context.Background()): a canceled
+// campaign stops claiming new jobs rather than storing aborted partials,
+// which would poison resume determinism.
+func measureSample(plan *Plan, stage core.Stage, sample population.SiteSample, obs core.Observer) (res *core.StageResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("campaign: measuring %s: panic: %v", sample.Name, r)
 		}
 	}()
-	env := netsim.NewEnv(sample.MeasureSeed)
-	server := websim.NewServer(env, sample.Config, sample.Site)
-	specs := core.PlanetLabSpecs(env, plan.Clients)
-	plat := core.NewSimPlatform(env, server, specs)
-	prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: sample.Site},
-		sample.Site.Host, sample.Site.Base, content.CrawlConfig{})
-	if err != nil {
-		return nil, err
-	}
-
 	cfg := core.DefaultConfig()
 	cfg.Threshold = plan.Threshold()
 	cfg.Step = plan.Step
 	cfg.MaxCrowd = plan.MaxCrowd
 	cfg.MinClients = plan.MinClients
 
-	var sr *core.StageResult
-	env.Go("coordinator", func(p *netsim.Proc) {
-		plat.Bind(p)
-		coord := core.NewCoordinator(plat, cfg, nil)
-		if err := coord.Register(); err != nil {
-			panic(err)
-		}
-		sr = coord.RunStage(stage, prof)
-	})
-	env.Run(0)
-	if sr == nil {
-		return nil, fmt.Errorf("campaign: %s produced no stage result", sample.Name)
+	run, err := mfc.Run(context.Background(), mfc.SimTarget{
+		Server: sample.Config, Site: sample.Site, Clients: plan.Clients,
+		Seed: sample.MeasureSeed, NoAccessLog: true, MonitorPeriod: -1,
+	}, cfg, mfc.WithStage(stage), mfc.WithObserver(obs))
+	if err != nil {
+		return nil, err
 	}
-	return sr, nil
+	return run.Result.Stages[0], nil
 }
 
 // SimElapsed returns the record's simulated duration.

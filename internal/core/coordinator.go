@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -11,7 +12,7 @@ import (
 type Coordinator struct {
 	cfg      Config
 	platform Platform
-	logf     func(format string, args ...any)
+	observe  Observer
 
 	clients   []Client
 	ctrlRTT   map[string]time.Duration
@@ -23,16 +24,57 @@ type Coordinator struct {
 	measurers map[string][]Client
 }
 
-// NewCoordinator builds a coordinator. logf may be nil for silence.
-func NewCoordinator(p Platform, cfg Config, logf func(string, ...any)) *Coordinator {
-	if logf == nil {
-		logf = func(string, ...any) {}
+// Option configures a Coordinator at construction.
+type Option func(*Coordinator)
+
+// WithObserver attaches an event observer. Multiple observers compose in
+// registration order.
+func WithObserver(o Observer) Option {
+	return func(c *Coordinator) {
+		if o == nil {
+			return
+		}
+		if prev := c.observe; prev != nil {
+			c.observe = func(ev Event) { prev(ev); o(ev) }
+		} else {
+			c.observe = o
+		}
 	}
-	return &Coordinator{cfg: cfg.withDefaults(), platform: p, logf: logf}
+}
+
+// New builds a coordinator over a platform.
+func New(p Platform, cfg Config, opts ...Option) *Coordinator {
+	c := &Coordinator{cfg: cfg.withDefaults(), platform: p}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// NewCoordinator builds a coordinator that renders its event stream as the
+// legacy log lines. logf may be nil for silence.
+//
+// Deprecated: use New with WithObserver for the typed event stream.
+func NewCoordinator(p Platform, cfg Config, logf func(string, ...any)) *Coordinator {
+	return New(p, cfg, WithObserver(LogObserver(logf)))
 }
 
 // Config returns the effective (defaulted) configuration.
 func (c *Coordinator) Config() Config { return c.cfg }
+
+// emit delivers one event to the observer, if any.
+func (c *Coordinator) emit(ev Event) {
+	if c.observe != nil {
+		c.observe(ev)
+	}
+}
+
+// canceled reports whether the run context has been canceled. The
+// coordinator only looks at epoch boundaries, so a cancellation lands
+// between epochs, never mid-measurement.
+func canceled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
 
 // register performs the client-register step: collect active clients and
 // their control RTTs, enforcing the MinClients rule.
@@ -54,7 +96,6 @@ func (c *Coordinator) register() error {
 	if len(c.clients) < c.cfg.MinClients {
 		return fmt.Errorf("%w: %d < %d", ErrTooFewClients, len(c.clients), c.cfg.MinClients)
 	}
-	c.logf("registered %d active clients", len(c.clients))
 	return nil
 }
 
@@ -115,25 +156,75 @@ func (c *Coordinator) delayComputation(reqs map[string]Request) {
 // client-visible host name). The profile comes from the platform-specific
 // profiling crawl (content.Crawl over a SiteFetcher for simulations, over
 // liveplat.HTTPFetcher for live sites) or from a cooperating operator.
-func (c *Coordinator) RunExperiment(target string, prof *content.Profile) (*Result, error) {
+//
+// Cancellation is honored at epoch boundaries: when ctx is canceled the
+// in-progress stage returns with VerdictAborted, later stages do not run,
+// and RunExperiment returns the partial Result together with ctx's error.
+// The terminal ExperimentFinished event is emitted exactly once, whatever
+// the outcome.
+func (c *Coordinator) RunExperiment(ctx context.Context, target string, prof *content.Profile) (*Result, error) {
+	res, err := c.runExperiment(ctx, target, prof)
+	c.emit(ExperimentFinished{Target: target, Result: res, Err: errString(err)})
+	return res, err
+}
+
+func (c *Coordinator) runExperiment(ctx context.Context, target string, prof *content.Profile) (*Result, error) {
 	if prof == nil {
 		return nil, fmt.Errorf("core: nil profile for target %s", target)
 	}
-	res := &Result{Target: target}
 	if err := c.register(); err != nil {
 		return nil, err
 	}
+	res := &Result{Target: target}
 	for _, stage := range Stages {
-		sr := c.RunStage(stage, prof)
+		sr := c.RunStage(ctx, stage, prof)
 		res.Stages = append(res.Stages, sr)
+		if canceled(ctx) {
+			return res, ctx.Err()
+		}
 	}
 	return res, nil
 }
 
+// RunSingleStage runs exactly one stage as a complete experiment:
+// registration, the stage, and the terminal ExperimentFinished event. It
+// is the single-category entry point the §5 population studies and the
+// campaign engine use. Like RunExperiment, cancellation yields the partial
+// Result plus ctx's error.
+func (c *Coordinator) RunSingleStage(ctx context.Context, target string, stage Stage, prof *content.Profile) (*Result, error) {
+	res, err := c.runSingleStage(ctx, target, stage, prof)
+	c.emit(ExperimentFinished{Target: target, Result: res, Err: errString(err)})
+	return res, err
+}
+
+func (c *Coordinator) runSingleStage(ctx context.Context, target string, stage Stage, prof *content.Profile) (*Result, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("core: nil profile for target %s", target)
+	}
+	if len(c.clients) == 0 {
+		if err := c.register(); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Target: target, Stages: []*StageResult{c.RunStage(ctx, stage, prof)}}
+	if canceled(ctx) {
+		return res, ctx.Err()
+	}
+	return res, nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
 // RunStage executes one MFC stage to completion and returns its result.
 // The coordinator must have registered clients (RunExperiment does this;
-// direct callers can use Register).
-func (c *Coordinator) RunStage(stage Stage, prof *content.Profile) *StageResult {
+// direct callers can use Register). A canceled ctx aborts at the next
+// epoch boundary with VerdictAborted.
+func (c *Coordinator) RunStage(ctx context.Context, stage Stage, prof *content.Profile) *StageResult {
 	clock := c.platform.Clock()
 	sr := &StageResult{
 		Stage:     stage,
@@ -141,6 +232,7 @@ func (c *Coordinator) RunStage(stage Stage, prof *content.Profile) *StageResult 
 		Quantile:  c.cfg.Quantile(stage),
 		Started:   clock.Now(),
 	}
+	c.emit(StageStarted{Stage: stage, At: sr.Started})
 	if len(c.clients) == 0 {
 		if err := c.register(); err != nil {
 			sr.Verdict = VerdictAborted
@@ -162,6 +254,10 @@ func (c *Coordinator) RunStage(stage Stage, prof *content.Profile) *StageResult 
 	defer func() { sr.Elapsed = clock.Now() - sr.Started }()
 
 	for crowd := c.cfg.Step; crowd <= c.cfg.MaxCrowd; crowd += c.cfg.Step {
+		if canceled(ctx) {
+			sr.Verdict = VerdictAborted
+			return sr
+		}
 		if crowd > len(c.clients) {
 			break // fewer clients available than the configured maximum
 		}
@@ -179,7 +275,7 @@ func (c *Coordinator) RunStage(stage Stage, prof *content.Profile) *StageResult 
 			return sr
 		}
 		// Check phase: N-1, repeat N, N+1; any confirmation terminates.
-		c.logf("stage %v: crowd %d exceeded θ; entering check phase", stage, crowd)
+		c.emit(CheckPhaseEntered{Stage: stage, Crowd: crowd})
 		checks := []struct {
 			kind  EpochKind
 			crowd int
@@ -189,6 +285,10 @@ func (c *Coordinator) RunStage(stage Stage, prof *content.Profile) *StageResult 
 			{EpochCheckPlus, crowd + 1},
 		}
 		for _, ch := range checks {
+			if canceled(ctx) {
+				sr.Verdict = VerdictAborted
+				return sr
+			}
 			if ch.crowd < 1 || ch.crowd > len(c.clients) {
 				continue
 			}
@@ -199,7 +299,6 @@ func (c *Coordinator) RunStage(stage Stage, prof *content.Profile) *StageResult 
 				return sr
 			}
 		}
-		c.logf("stage %v: check phase failed at crowd %d; progressing", stage, crowd)
 	}
 	sr.Verdict = VerdictNoStop
 	return sr
@@ -295,9 +394,22 @@ func (c *Coordinator) runEpoch(stage Stage, sr *StageResult, reqs map[string]Req
 	if er.Exceeded && sr.FirstExceed == 0 {
 		sr.FirstExceed = crowd
 	}
-	c.logf("stage %v epoch %d (%v): crowd=%d sched=%d recv=%d q%.0f=%v median=%v",
-		stage, epoch, kind, crowd, scheduled, len(samples),
-		c.cfg.Quantile(stage)*100, er.NormQuantile, er.NormMedian)
+	if c.observe != nil {
+		c.observe(EpochCompleted{
+			Stage:        stage,
+			Epoch:        epoch,
+			Kind:         kind,
+			Crowd:        crowd,
+			Scheduled:    scheduled,
+			Received:     len(samples),
+			Errors:       er.Errors,
+			Quantile:     c.cfg.Quantile(stage),
+			NormQuantile: er.NormQuantile,
+			NormMedian:   er.NormMedian,
+			Exceeded:     er.Exceeded,
+			At:           er.Done,
+		})
+	}
 
 	// Inter-epoch gap.
 	clock.Sleep(c.cfg.EpochGap)
@@ -328,7 +440,7 @@ func (c *Coordinator) reserveMeasurers() {
 			}
 		}
 		c.measurers[mreq.URL] = picked
-		c.logf("reserved %d measurer clients for %s", len(picked), mreq.URL)
+		c.emit(MeasurersReserved{URL: mreq.URL, Clients: len(picked)})
 	}
 }
 
@@ -396,10 +508,3 @@ func (c *Coordinator) Register() error { return c.register() }
 
 // Clients returns the registered clients (after Register).
 func (c *Coordinator) Clients() []Client { return c.clients }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -126,7 +127,7 @@ func TestStageStopsAtThresholdCrossing(t *testing.T) {
 	if err := coord.Register(); err != nil {
 		t.Fatal(err)
 	}
-	sr := coord.RunStage(StageBase, testProfile())
+	sr := coord.RunStage(context.Background(), StageBase, testProfile())
 	if sr.Verdict != VerdictStopped {
 		t.Fatalf("verdict = %v, want Stopped", sr.Verdict)
 	}
@@ -151,7 +152,7 @@ func TestStageNoStopWhenFlat(t *testing.T) {
 	if err := coord.Register(); err != nil {
 		t.Fatal(err)
 	}
-	sr := coord.RunStage(StageBase, testProfile())
+	sr := coord.RunStage(context.Background(), StageBase, testProfile())
 	if sr.Verdict != VerdictNoStop {
 		t.Fatalf("verdict = %v, want NoStop", sr.Verdict)
 	}
@@ -172,7 +173,7 @@ func TestMinSignificantSuppressesEarlyStops(t *testing.T) {
 	if err := coord.Register(); err != nil {
 		t.Fatal(err)
 	}
-	sr := coord.RunStage(StageBase, testProfile())
+	sr := coord.RunStage(context.Background(), StageBase, testProfile())
 	if sr.Verdict != VerdictStopped {
 		t.Fatalf("verdict = %v, want Stopped", sr.Verdict)
 	}
@@ -200,7 +201,7 @@ func TestCheckPhaseRejectsTransient(t *testing.T) {
 	if err := coord.Register(); err != nil {
 		t.Fatal(err)
 	}
-	sr := coord.RunStage(StageBase, testProfile())
+	sr := coord.RunStage(context.Background(), StageBase, testProfile())
 	if sr.Verdict != VerdictNoStop {
 		t.Fatalf("verdict = %v, want NoStop (transient rejected)", sr.Verdict)
 	}
@@ -224,7 +225,7 @@ func TestCheckPhaseDisabledAcceptsTransient(t *testing.T) {
 	if err := coord.Register(); err != nil {
 		t.Fatal(err)
 	}
-	sr := coord.RunStage(StageBase, testProfile())
+	sr := coord.RunStage(context.Background(), StageBase, testProfile())
 	if sr.Verdict != VerdictStopped || sr.StoppingCrowd != 20 {
 		t.Fatalf("verdict = %v at %d, want Stopped at 20", sr.Verdict, sr.StoppingCrowd)
 	}
@@ -238,7 +239,7 @@ func TestTooFewClientsAborts(t *testing.T) {
 	if err := coord.Register(); err == nil {
 		t.Fatal("Register accepted 10 clients with MinClients=50")
 	}
-	if _, err := coord.RunExperiment("fake", testProfile()); err == nil {
+	if _, err := coord.RunExperiment(context.Background(), "fake", testProfile()); err == nil {
 		t.Error("RunExperiment did not propagate the abort")
 	}
 }
@@ -250,13 +251,13 @@ func TestStageUnavailableWithoutContent(t *testing.T) {
 		t.Fatal(err)
 	}
 	prof := &content.Profile{Host: "x", BaseURL: "/", ByKind: map[content.Kind]int{}}
-	if sr := coord.RunStage(StageLargeObject, prof); sr.Verdict != VerdictUnavailable {
+	if sr := coord.RunStage(context.Background(), StageLargeObject, prof); sr.Verdict != VerdictUnavailable {
 		t.Errorf("LargeObject verdict = %v, want Unavailable", sr.Verdict)
 	}
-	if sr := coord.RunStage(StageSmallQuery, prof); sr.Verdict != VerdictUnavailable {
+	if sr := coord.RunStage(context.Background(), StageSmallQuery, prof); sr.Verdict != VerdictUnavailable {
 		t.Errorf("SmallQuery verdict = %v, want Unavailable", sr.Verdict)
 	}
-	if sr := coord.RunStage(StageBase, prof); sr.Verdict == VerdictUnavailable {
+	if sr := coord.RunStage(context.Background(), StageBase, prof); sr.Verdict == VerdictUnavailable {
 		t.Error("Base stage requires no special content; must not be Unavailable")
 	}
 }
@@ -325,7 +326,7 @@ func TestMultiRequestSchedulesMRequestsPerClient(t *testing.T) {
 	if err := coord.Register(); err != nil {
 		t.Fatal(err)
 	}
-	sr := coord.RunStage(StageBase, testProfile())
+	sr := coord.RunStage(context.Background(), StageBase, testProfile())
 	for _, e := range sr.Epochs {
 		if e.Scheduled != e.Crowd*3 {
 			t.Errorf("epoch crowd %d scheduled %d, want %d", e.Crowd, e.Scheduled, e.Crowd*3)
@@ -352,7 +353,7 @@ func TestStoppingCrowdBracketsCrossingProperty(t *testing.T) {
 		if err := coord.Register(); err != nil {
 			t.Fatal(err)
 		}
-		sr := coord.RunStage(StageBase, testProfile())
+		sr := coord.RunStage(context.Background(), StageBase, testProfile())
 		trueCross := int(cfg.Threshold/slope) + 1
 		wantLo := trueCross
 		if wantLo < cfg.MinSignificant {
@@ -386,7 +387,7 @@ func TestStaggerUniformSpacesArrivals(t *testing.T) {
 	if err := coord.Register(); err != nil {
 		t.Fatal(err)
 	}
-	sr := coord.RunStage(StageBase, testProfile())
+	sr := coord.RunStage(context.Background(), StageBase, testProfile())
 	// The epoch wait must cover the staggered tail: with 10 clients at
 	// 50ms spacing the epoch spans at least 450ms extra.
 	if len(sr.Epochs) != 2 {
@@ -409,7 +410,7 @@ func TestMeasurerReservationPreservesMinClients(t *testing.T) {
 	if err := coord.Register(); err != nil {
 		t.Fatal(err)
 	}
-	sr := coord.RunStage(StageBase, testProfile())
+	sr := coord.RunStage(context.Background(), StageBase, testProfile())
 	if sr.Verdict == VerdictAborted {
 		t.Fatal("measurer reservation starved the crowd below MinClients")
 	}
@@ -430,7 +431,7 @@ func TestMeasurerMediansRecorded(t *testing.T) {
 	if err := coord.Register(); err != nil {
 		t.Fatal(err)
 	}
-	sr := coord.RunStage(StageBase, testProfile())
+	sr := coord.RunStage(context.Background(), StageBase, testProfile())
 	for _, e := range sr.Epochs {
 		if _, ok := e.MeasurerMedians["/q?a"]; !ok {
 			t.Errorf("epoch crowd %d: no measurer median", e.Crowd)
@@ -443,7 +444,7 @@ func TestResultStringMentionsVerdicts(t *testing.T) {
 		return time.Duration(crowd) * 10 * time.Millisecond
 	})
 	coord := NewCoordinator(plat, testCfg(), nil)
-	res, err := coord.RunExperiment("fake-host", testProfile())
+	res, err := coord.RunExperiment(context.Background(), "fake-host", testProfile())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,110 @@
+package core
+
+import "time"
+
+// The coordinator reports progress as a typed event stream instead of
+// formatted log lines: every consumer (CLIs, the campaign engine, tests)
+// reads the same structured facts and renders them however it needs. Events
+// are delivered synchronously on the coordinator's goroutine, in the order
+// the underlying steps happen — epoch events arrive in epoch order, and the
+// terminal ExperimentFinished arrives exactly once per experiment.
+
+// Event is one item of the coordinator's progress stream. The concrete
+// types are StageStarted, EpochCompleted, MeasurersReserved,
+// CheckPhaseEntered and ExperimentFinished.
+type Event interface{ event() }
+
+// Observer receives coordinator events. It is called synchronously from
+// the coordinator's goroutine: implementations must be fast and must not
+// call back into the coordinator. A nil Observer is silence.
+type Observer func(Event)
+
+// StageStarted announces that a stage is about to run.
+type StageStarted struct {
+	Stage Stage
+	// At is the platform clock when the stage began.
+	At time.Duration
+}
+
+// EpochCompleted reports one synchronized crowd's outcome, emitted after
+// the epoch's samples are collected (before the inter-epoch gap).
+type EpochCompleted struct {
+	Stage Stage
+	// Epoch is the experiment-wide epoch sequence number.
+	Epoch int
+	Kind  EpochKind
+	// Crowd is the number of participating clients; Scheduled and Received
+	// count requests sent vs. samples collected (UDP polls can be lost).
+	Crowd     int
+	Scheduled int
+	Received  int
+	Errors    int
+	// Quantile is the detection quantile in effect for the stage;
+	// NormQuantile is its observed normalized response time, NormMedian the
+	// median for reference.
+	Quantile     float64
+	NormQuantile time.Duration
+	NormMedian   time.Duration
+	// Exceeded reports NormQuantile > θ — the epoch-level verdict that
+	// drives the ramp and check phase.
+	Exceeded bool
+	// At is the platform clock when collection finished.
+	At time.Duration
+}
+
+// MeasurersReserved reports the §6 measurer reservation: Clients clients
+// were taken out of the crowd-eligible pool to probe URL every epoch.
+type MeasurersReserved struct {
+	URL     string
+	Clients int
+}
+
+// CheckPhaseEntered announces the N-1/N/N+1 confirmation epochs after a
+// ramp epoch at Crowd exceeded θ.
+type CheckPhaseEntered struct {
+	Stage Stage
+	Crowd int
+}
+
+// ExperimentFinished is the terminal event, emitted exactly once per
+// experiment (RunExperiment or RunSingleStage), whatever the outcome.
+type ExperimentFinished struct {
+	Target string
+	// Result is the experiment outcome; nil when the experiment failed
+	// before producing one (registration failure), in which case Err is
+	// set. A canceled experiment carries its partial Result here with the
+	// interrupted stage tagged VerdictAborted.
+	Result *Result
+	// Err is the failure message ("" on success).
+	Err string
+}
+
+func (StageStarted) event()       {}
+func (EpochCompleted) event()     {}
+func (MeasurersReserved) event()  {}
+func (CheckPhaseEntered) event()  {}
+func (ExperimentFinished) event() {}
+
+// LogObserver renders events as the legacy logf progress lines for the
+// deprecated NewCoordinator(p, cfg, logf) constructor: the per-epoch,
+// check-phase-entered and measurer-reserved lines. Two informational lines
+// of the pre-event API ("registered N active clients" and "check phase
+// failed at crowd N; progressing") have no corresponding event and are no
+// longer printed.
+func LogObserver(logf func(string, ...any)) Observer {
+	if logf == nil {
+		return nil
+	}
+	return func(ev Event) {
+		switch e := ev.(type) {
+		case EpochCompleted:
+			logf("stage %v epoch %d (%v): crowd=%d sched=%d recv=%d q%.0f=%v median=%v",
+				e.Stage, e.Epoch, e.Kind, e.Crowd, e.Scheduled, e.Received,
+				e.Quantile*100, e.NormQuantile, e.NormMedian)
+		case CheckPhaseEntered:
+			logf("stage %v: crowd %d exceeded θ; entering check phase", e.Stage, e.Crowd)
+		case MeasurersReserved:
+			logf("reserved %d measurer clients for %s", e.Clients, e.URL)
+		}
+	}
+}

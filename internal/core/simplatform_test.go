@@ -44,7 +44,7 @@ func simStage(t *testing.T, mutate func(*SimPlatform, []SimClientSpec), cfg Conf
 		if err := coord.Register(); err != nil {
 			panic(err)
 		}
-		sr = coord.RunStage(stage, prof)
+		sr = coord.RunStage(context.Background(), stage, prof)
 	})
 	env.Run(0)
 	return sr
@@ -152,7 +152,7 @@ func TestSimBaselineFailureDropsClient(t *testing.T) {
 		if err := coord.Register(); err != nil {
 			panic(err)
 		}
-		sr = coord.RunStage(StageLargeObject, prof)
+		sr = coord.RunStage(context.Background(), StageLargeObject, prof)
 		nClients = len(coord.Clients())
 	})
 	env.Run(0)

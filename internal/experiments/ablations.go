@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"mfc"
 	"mfc/internal/content"
 	"mfc/internal/core"
 	"mfc/internal/netsim"
@@ -63,7 +64,6 @@ func AblationCheckPhase(seeds int) (*CheckPhaseResult, error) {
 // background traffic and returns the stopping crowd (0 = NoStop; any stop
 // is false by construction — the MFC crowd alone costs <20ms).
 func noisyBaseRun(cfg core.Config, seed int64) (int, error) {
-	env := netsim.NewEnv(seed)
 	srvCfg := websim.Config{
 		Name:            "burst-target",
 		AccessBandwidth: 1.25e9,
@@ -72,31 +72,15 @@ func noisyBaseRun(cfg core.Config, seed int64) (int, error) {
 		Cores:           4,
 		ParseCPU:        1500 * time.Microsecond,
 	}
-	server := websim.NewServer(env, srvCfg, websim.QTSite(7))
-	bt := websim.StartBackground(env, server, websim.BackgroundConfig{
-		BurstSize:  1200,
-		BurstEvery: 12 * time.Second,
-	})
-	specs := core.PlanetLabSpecs(env, 60)
-	plat := core.NewSimPlatform(env, server, specs)
-	prof, err := content.Crawl(context.Background(),
-		content.SiteFetcher{Site: server.Site()}, server.Site().Host, server.Site().Base,
-		content.CrawlConfig{})
+	run, err := mfc.Run(context.Background(), mfc.SimTarget{
+		Server: srvCfg, Site: websim.QTSite(7),
+		Background: websim.BackgroundConfig{BurstSize: 1200, BurstEvery: 12 * time.Second},
+		Clients:    60, Seed: seed, NoAccessLog: true, MonitorPeriod: -1,
+	}, cfg, mfc.WithStage(core.StageBase))
 	if err != nil {
 		return 0, err
 	}
-	var sr *core.StageResult
-	env.Go("coordinator", func(p *netsim.Proc) {
-		plat.Bind(p)
-		coord := core.NewCoordinator(plat, cfg, nil)
-		if err := coord.Register(); err != nil {
-			panic(err)
-		}
-		sr = coord.RunStage(core.StageBase, prof)
-		bt.Stop()
-	})
-	env.Run(0)
-	if sr.Verdict == core.VerdictStopped {
+	if sr := run.Result.Stages[0]; sr.Verdict == core.VerdictStopped {
 		return sr.StoppingCrowd, nil
 	}
 	return 0, nil
@@ -135,43 +119,32 @@ func AblationQuantile(seed int64) (*QuantileAblationResult, error) {
 	quantiles := []float64{0.5, 0.9}
 	stops, err := parMap(len(quantiles), func(qi int) (int, error) {
 		q := quantiles[qi]
-		env := netsim.NewEnv(seed)
-		// Target with an over-provisioned pipe: it is never the bottleneck.
-		srvCfg := websim.QTNPConfig()
-		site := websim.QTSite(7)
-		server := websim.NewServer(env, srvCfg, site)
-
-		// 55% of clients share a thin middle link several hops away.
-		middle := env.NewLink("shared-middle", 2.5e6)
-		specs := core.PlanetLabSpecs(env, 60)
-		for i := range specs {
-			if i%100 < 55 {
-				specs[i].Middle = middle
-			}
-		}
-		plat := core.NewSimPlatform(env, server, specs)
-		prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: site},
-			site.Host, site.Base, content.CrawlConfig{})
-		if err != nil {
-			return 0, err
-		}
 		cfg := core.DefaultConfig()
 		cfg.Step = 5
 		cfg.MaxCrowd = 50
 		cfg.MinClients = 50
 		cfg.LargeObserveFrac = q
 
-		var sr *core.StageResult
-		env.Go("coordinator", func(p *netsim.Proc) {
-			plat.Bind(p)
-			coord := core.NewCoordinator(plat, cfg, nil)
-			if err := coord.Register(); err != nil {
-				panic(err)
-			}
-			sr = coord.RunStage(core.StageLargeObject, prof)
-		})
-		env.Run(0)
-		if sr.Verdict == core.VerdictStopped {
+		// Target with an over-provisioned pipe: it is never the bottleneck;
+		// 55% of clients share a thin middle link several hops away.
+		run, err := mfc.Run(context.Background(), mfc.SimTarget{
+			Server: websim.QTNPConfig(), Site: websim.QTSite(7), Seed: seed,
+			NoAccessLog: true, MonitorPeriod: -1,
+			Specs: func(env *netsim.Env) []core.SimClientSpec {
+				middle := env.NewLink("shared-middle", 2.5e6)
+				specs := core.PlanetLabSpecs(env, 60)
+				for i := range specs {
+					if i%100 < 55 {
+						specs[i].Middle = middle
+					}
+				}
+				return specs
+			},
+		}, cfg, mfc.WithStage(core.StageLargeObject))
+		if err != nil {
+			return 0, err
+		}
+		if sr := run.Result.Stages[0]; sr.Verdict == core.VerdictStopped {
 			return sr.StoppingCrowd, nil
 		}
 		return 0, nil

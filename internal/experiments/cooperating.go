@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"time"
 
+	"mfc"
 	"mfc/internal/content"
 	"mfc/internal/core"
-	"mfc/internal/netsim"
 	"mfc/internal/websim"
 )
 
@@ -16,31 +16,15 @@ import (
 func runSite(srvCfg websim.Config, site *content.Site, bg websim.BackgroundConfig,
 	cfg core.Config, clients int, seed int64) (*core.Result, *websim.Server, error) {
 
-	env := netsim.NewEnv(seed)
-	server := websim.NewServer(env, srvCfg, site)
-	server.EnableAccessLog()
-	specs := core.PlanetLabSpecs(env, clients)
-	plat := core.NewSimPlatform(env, server, specs)
-	plat.CommandLoss = 0.015 // the paper's UDP control has no retransmit
-	prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: site},
-		site.Host, site.Base, content.CrawlConfig{})
+	run, err := mfc.Run(context.Background(), mfc.SimTarget{
+		Server: srvCfg, Site: site, Background: bg, Clients: clients, Seed: seed,
+		CommandLoss:   0.015, // the paper's UDP control has no retransmit
+		MonitorPeriod: -1,
+	}, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	bt := websim.StartBackground(env, server, bg)
-	var res *core.Result
-	var expErr error
-	env.Go("coordinator", func(p *netsim.Proc) {
-		plat.Bind(p)
-		coord := core.NewCoordinator(plat, cfg, nil)
-		res, expErr = coord.RunExperiment(site.Host, prof)
-		bt.Stop()
-	})
-	env.Run(0)
-	if expErr != nil {
-		return nil, nil, expErr
-	}
-	return res, server, nil
+	return run.Result, run.Server, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -4,9 +4,9 @@ import (
 	"context"
 	"time"
 
+	"mfc"
 	"mfc/internal/content"
 	"mfc/internal/core"
-	"mfc/internal/netsim"
 	"mfc/internal/websim"
 )
 
@@ -62,16 +62,6 @@ func ExtensionMeasurersShared(seed int64) (*MeasurerResult, error) {
 }
 
 func measurerRun(srvCfg websim.Config, site *content.Site, crowdStage core.Stage, seed int64) (*MeasurerResult, error) {
-	env := netsim.NewEnv(seed)
-	server := websim.NewServer(env, srvCfg, site)
-	specs := core.LANSpecs(env, 70)
-	plat := core.NewSimPlatform(env, server, specs)
-	prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: site},
-		site.Host, site.Base, content.CrawlConfig{})
-	if err != nil {
-		return nil, err
-	}
-
 	cfg := core.DefaultConfig()
 	cfg.Step = 5
 	cfg.MaxCrowd = 50
@@ -83,16 +73,14 @@ func measurerRun(srvCfg websim.Config, site *content.Site, crowdStage core.Stage
 	}
 	cfg.MeasurerReplicas = 3
 
-	var sr *core.StageResult
-	env.Go("coordinator", func(p *netsim.Proc) {
-		plat.Bind(p)
-		coord := core.NewCoordinator(plat, cfg, nil)
-		if err := coord.Register(); err != nil {
-			panic(err)
-		}
-		sr = coord.RunStage(crowdStage, prof)
-	})
-	env.Run(0)
+	run, err := mfc.Run(context.Background(), mfc.SimTarget{
+		Server: srvCfg, Site: site, Clients: 70, LAN: true, Seed: seed,
+		NoAccessLog: true, MonitorPeriod: -1,
+	}, cfg, mfc.WithStage(crowdStage))
+	if err != nil {
+		return nil, err
+	}
+	sr := run.Result.Stages[0]
 
 	res := &MeasurerResult{CrowdStage: crowdStage}
 	for _, e := range sr.Epochs {

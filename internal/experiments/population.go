@@ -5,11 +5,9 @@ import (
 	"fmt"
 	"time"
 
-	"mfc/internal/content"
+	"mfc"
 	"mfc/internal/core"
-	"mfc/internal/netsim"
 	"mfc/internal/population"
-	"mfc/internal/websim"
 )
 
 // Bucket labels for the §5 stopping-size histograms.
@@ -106,32 +104,20 @@ func runPopulationStage(stage core.Stage, bands []population.Band, sizes []int, 
 // measureSite runs one single-stage MFC against one population sample.
 // ok=false means the stage was unavailable for this site's content.
 func measureSite(stage core.Stage, sample population.SiteSample, seed int64) (stop int, ok bool, err error) {
-	env := netsim.NewEnv(seed)
-	server := websim.NewServer(env, sample.Config, sample.Site)
-	specs := core.PlanetLabSpecs(env, 60)
-	plat := core.NewSimPlatform(env, server, specs)
-	prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: sample.Site},
-		sample.Site.Host, sample.Site.Base, content.CrawlConfig{})
-	if err != nil {
-		return 0, false, err
-	}
-
 	cfg := core.DefaultConfig()
 	cfg.Threshold = 100 * time.Millisecond
 	cfg.Step = 5
 	cfg.MaxCrowd = 50
 	cfg.MinClients = 50
 
-	var sr *core.StageResult
-	env.Go("coordinator", func(p *netsim.Proc) {
-		plat.Bind(p)
-		coord := core.NewCoordinator(plat, cfg, nil)
-		if err := coord.Register(); err != nil {
-			panic(err)
-		}
-		sr = coord.RunStage(stage, prof)
-	})
-	env.Run(0)
+	run, err := mfc.Run(context.Background(), mfc.SimTarget{
+		Server: sample.Config, Site: sample.Site, Clients: 60, Seed: seed,
+		NoAccessLog: true, MonitorPeriod: -1,
+	}, cfg, mfc.WithStage(stage))
+	if err != nil {
+		return 0, false, err
+	}
+	sr := run.Result.Stages[0]
 	switch sr.Verdict {
 	case core.VerdictStopped:
 		return sr.StoppingCrowd, true, nil

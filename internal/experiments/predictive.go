@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"mfc"
 	"mfc/internal/content"
 	"mfc/internal/core"
 	"mfc/internal/netsim"
@@ -92,30 +93,19 @@ func PredictiveValidation(seed int64) (*PredictiveResult, error) {
 
 // baseStageStop runs just the Base stage and returns its stopping crowd.
 func baseStageStop(srvCfg websim.Config, site *content.Site, theta time.Duration, seed int64) (int, error) {
-	env := netsim.NewEnv(seed)
-	server := websim.NewServer(env, srvCfg, site)
-	plat := core.NewSimPlatform(env, server, core.PlanetLabSpecs(env, 90))
-	prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: site},
-		site.Host, site.Base, content.CrawlConfig{})
-	if err != nil {
-		return 0, err
-	}
 	cfg := core.DefaultConfig()
 	cfg.Threshold = theta
 	cfg.Step = 5
 	cfg.MaxCrowd = 85
 	cfg.MinClients = 50
-	var sr *core.StageResult
-	env.Go("coordinator", func(p *netsim.Proc) {
-		plat.Bind(p)
-		coord := core.NewCoordinator(plat, cfg, nil)
-		if err := coord.Register(); err != nil {
-			panic(err)
-		}
-		sr = coord.RunStage(core.StageBase, prof)
-	})
-	env.Run(0)
-	if sr.Verdict == core.VerdictStopped {
+	run, err := mfc.Run(context.Background(), mfc.SimTarget{
+		Server: srvCfg, Site: site, Clients: 90, Seed: seed,
+		NoAccessLog: true, MonitorPeriod: -1,
+	}, cfg, mfc.WithStage(core.StageBase))
+	if err != nil {
+		return 0, err
+	}
+	if sr := run.Result.Stages[0]; sr.Verdict == core.VerdictStopped {
 		return sr.StoppingCrowd, nil
 	}
 	return 0, nil

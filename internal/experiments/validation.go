@@ -6,9 +6,8 @@ import (
 	"sort"
 	"time"
 
-	"mfc/internal/content"
+	"mfc"
 	"mfc/internal/core"
-	"mfc/internal/netsim"
 	"mfc/internal/stats"
 	"mfc/internal/websim"
 )
@@ -32,42 +31,27 @@ type Figure3Result struct {
 // exactly as §3.1 does.
 func Figure3(seed int64) (*Figure3Result, error) {
 	const crowd = 45
-	env := netsim.NewEnv(seed)
 	srvCfg := websim.ValidationConfig(websim.LinearModel{Slope: 0})
 	site := websim.ValidationSite()
-	server := websim.NewServer(env, srvCfg, site)
-	server.EnableAccessLog()
-
-	specs := core.PlanetLabSpecs(env, 65)
-	plat := core.NewSimPlatform(env, server, specs)
-
-	prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: site},
-		site.Host, site.Base, content.CrawlConfig{})
-	if err != nil {
-		return nil, err
-	}
 
 	cfg := core.DefaultConfig()
 	cfg.Step = crowd
 	cfg.MaxCrowd = crowd
 	cfg.MinClients = crowd
 	cfg.Threshold = time.Hour // never stop: one clean epoch
-	var sr *core.StageResult
-	env.Go("coordinator", func(p *netsim.Proc) {
-		plat.Bind(p)
-		coord := core.NewCoordinator(plat, cfg, nil)
-		if err := coord.Register(); err != nil {
-			panic(err)
-		}
-		sr = coord.RunStage(core.StageBase, prof)
-	})
-	env.Run(0)
-	if sr == nil || len(sr.Epochs) == 0 {
+	run, err := mfc.Run(context.Background(), mfc.SimTarget{
+		Server: srvCfg, Site: site, Clients: 65, Seed: seed, MonitorPeriod: -1,
+	}, cfg, mfc.WithStage(core.StageBase))
+	if err != nil {
+		return nil, err
+	}
+	sr := run.Result.Stages[0]
+	if len(sr.Epochs) == 0 {
 		return nil, fmt.Errorf("experiments: figure3 produced no epochs")
 	}
 
 	var arrivals []time.Duration
-	for _, a := range server.AccessLog() {
+	for _, a := range run.Server.AccessLog() {
 		if a.Tag == "mfc" {
 			arrivals = append(arrivals, a.At)
 		}
@@ -128,34 +112,19 @@ type Figure4Result struct {
 // Figure4 measures how faithfully the MFC median tracks a synthetic
 // response-time model as the crowd grows 5..60 (§3.1, Figure 4).
 func Figure4(model websim.SyntheticModel, seed int64) (*Figure4Result, error) {
-	env := netsim.NewEnv(seed)
-	srvCfg := websim.ValidationConfig(model)
-	site := websim.ValidationSite()
-	server := websim.NewServer(env, srvCfg, site)
-
-	specs := core.PlanetLabSpecs(env, 65)
-	plat := core.NewSimPlatform(env, server, specs)
-	prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: site},
-		site.Host, site.Base, content.CrawlConfig{})
-	if err != nil {
-		return nil, err
-	}
-
 	cfg := core.DefaultConfig()
 	cfg.Step = 5
 	cfg.MaxCrowd = 60
 	cfg.MinClients = 50
 	cfg.Threshold = time.Hour // trace the whole curve
-	var sr *core.StageResult
-	env.Go("coordinator", func(p *netsim.Proc) {
-		plat.Bind(p)
-		coord := core.NewCoordinator(plat, cfg, nil)
-		if err := coord.Register(); err != nil {
-			panic(err)
-		}
-		sr = coord.RunStage(core.StageBase, prof)
-	})
-	env.Run(0)
+	run, err := mfc.Run(context.Background(), mfc.SimTarget{
+		Server: websim.ValidationConfig(model), Site: websim.ValidationSite(),
+		Clients: 65, Seed: seed, NoAccessLog: true, MonitorPeriod: -1,
+	}, cfg, mfc.WithStage(core.StageBase))
+	if err != nil {
+		return nil, err
+	}
+	sr := run.Result.Stages[0]
 
 	res := &Figure4Result{Model: model.Name()}
 	var totalErr time.Duration
@@ -275,43 +244,27 @@ func (r *Figure6Result) Render() string {
 // labRun executes one §3.2 lab stage (LAN clients, max 50, full curve) and
 // correlates each epoch with the atop-style monitor window.
 func labRun(stage core.Stage, backend websim.Backend, seed int64) ([]ResourcePoint, error) {
-	env := netsim.NewEnv(seed)
-	srvCfg := websim.LabConfig(backend)
-	site := websim.LabSite()
-	server := websim.NewServer(env, srvCfg, site)
-	mon := websim.NewMonitor(env, server, 100*time.Millisecond)
-
-	specs := core.LANSpecs(env, 55)
-	plat := core.NewSimPlatform(env, server, specs)
-	prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: site},
-		site.Host, site.Base, content.CrawlConfig{})
-	if err != nil {
-		return nil, err
-	}
-
 	cfg := core.DefaultConfig()
 	cfg.Step = 5
 	cfg.MaxCrowd = 50
 	cfg.MinClients = 50
 	cfg.Threshold = time.Hour
-	var sr *core.StageResult
-	env.Go("coordinator", func(p *netsim.Proc) {
-		plat.Bind(p)
-		coord := core.NewCoordinator(plat, cfg, nil)
-		if err := coord.Register(); err != nil {
-			panic(err)
-		}
-		sr = coord.RunStage(stage, prof)
-		mon.Stop()
-	})
-	env.Run(0)
+	run, err := mfc.Run(context.Background(), mfc.SimTarget{
+		Server: websim.LabConfig(backend), Site: websim.LabSite(),
+		Clients: 55, LAN: true, Seed: seed, NoAccessLog: true,
+		MonitorPeriod: 100 * time.Millisecond,
+	}, cfg, mfc.WithStage(stage))
+	if err != nil {
+		return nil, err
+	}
+	sr := run.Result.Stages[0]
 
 	var out []ResourcePoint
 	for _, e := range sr.Epochs {
 		if e.Kind != core.EpochRamp {
 			continue
 		}
-		w := mon.Window(e.ArriveAt-time.Second, e.ArriveAt+3*time.Second)
+		w := run.Monitor.Window(e.ArriveAt-time.Second, e.ArriveAt+3*time.Second)
 		out = append(out, ResourcePoint{
 			Crowd:      e.Crowd,
 			MedianResp: e.NormMedian,

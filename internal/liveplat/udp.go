@@ -1,6 +1,7 @@
 package liveplat
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -166,17 +167,21 @@ func (p *UDPPlatform) ActiveClients() ([]core.Client, error) {
 	return out, nil
 }
 
-// WaitForAgents blocks until at least n agents have registered or the
-// deadline passes, returning the registered count.
-func (p *UDPPlatform) WaitForAgents(n int, deadline time.Time) int {
+// WaitForAgents blocks until at least n agents have registered, the
+// deadline passes, or ctx is canceled, returning the registered count.
+func (p *UDPPlatform) WaitForAgents(ctx context.Context, n int, deadline time.Time) int {
 	for {
 		p.mu.Lock()
 		cnt := len(p.agents)
 		p.mu.Unlock()
-		if cnt >= n || time.Now().After(deadline) {
+		if cnt >= n || time.Now().After(deadline) || ctx.Err() != nil {
 			return cnt
 		}
-		time.Sleep(200 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return cnt
+		case <-time.After(200 * time.Millisecond):
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package liveplat
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http/httptest"
@@ -53,7 +54,7 @@ func TestUDPEndToEnd(t *testing.T) {
 	const n = 6
 	stop := startAgents(t, plat.Addr().String(), n)
 	defer stop()
-	if got := plat.WaitForAgents(n, time.Now().Add(5*time.Second)); got < n {
+	if got := plat.WaitForAgents(context.Background(), n, time.Now().Add(5*time.Second)); got < n {
 		t.Fatalf("only %d agents registered", got)
 	}
 
@@ -112,7 +113,7 @@ func TestUDPCoordinatorRunsStage(t *testing.T) {
 	const n = 8
 	stop := startAgents(t, plat.Addr().String(), n)
 	defer stop()
-	if got := plat.WaitForAgents(n, time.Now().Add(5*time.Second)); got < n {
+	if got := plat.WaitForAgents(context.Background(), n, time.Now().Add(5*time.Second)); got < n {
 		t.Fatalf("only %d agents registered", got)
 	}
 
@@ -131,7 +132,7 @@ func TestUDPCoordinatorRunsStage(t *testing.T) {
 	}
 	prof := &content.Profile{Host: ts.URL, BaseURL: "/index.html",
 		ByKind: map[content.Kind]int{}}
-	sr := coord.RunStage(core.StageBase, prof)
+	sr := coord.RunStage(context.Background(), core.StageBase, prof)
 	if sr.Verdict != core.VerdictNoStop {
 		t.Fatalf("verdict = %v, want NoStop", sr.Verdict)
 	}
@@ -165,7 +166,7 @@ func TestPlatformDropsWrongClientIDReply(t *testing.T) {
 	if err := wire.Send(agent, plat.Addr(), &wire.Message{Type: wire.TypeRegister, ClientID: "honest"}); err != nil {
 		t.Fatal(err)
 	}
-	if n := plat.WaitForAgents(1, time.Now().Add(3*time.Second)); n != 1 {
+	if n := plat.WaitForAgents(context.Background(), 1, time.Now().Add(3*time.Second)); n != 1 {
 		t.Fatalf("agent did not register (%d)", n)
 	}
 

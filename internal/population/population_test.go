@@ -105,13 +105,6 @@ func TestBandwidthWeaklyCorrelated(t *testing.T) {
 	}
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 func TestBandString(t *testing.T) {
 	for b, want := range map[Band]string{
 		Rank1K: "rank-1-1K", Rank1M: "rank-100K-1M", Startup: "startup", Phishing: "phishing",

@@ -1,0 +1,88 @@
+package mfc
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"mfc/internal/content"
+	"mfc/internal/labtarget"
+	"mfc/internal/liveplat"
+)
+
+// LabTarget is the §3 lab setting as a Target: a real instrumented HTTP
+// server (internal/labtarget) started in this process and hosting Site,
+// profiled over loopback by an in-process goroutine crowd. Wall-clock
+// time; genuine net/http requests; the instrumented server's access log
+// and counters are exposed on Session.Lab.
+type LabTarget struct {
+	// Site is the hosted content (required).
+	Site *Site
+	// Model is an optional synthetic response-time model driven by the
+	// live pending-request count (§3.1's validation functions).
+	Model SyntheticModel
+	// QueryDelay is a fixed handling time for dynamic URLs, emulating a
+	// back-end query independent of the model.
+	QueryDelay time.Duration
+	// Listen is the TCP address to bind (default "127.0.0.1:0").
+	Listen string
+	// Clients is the in-process goroutine crowd size (default 40).
+	Clients int
+	// CrawlMax bounds the profiling crawl (default 200 objects).
+	CrawlMax int
+}
+
+// open implements Target.
+func (t LabTarget) open(_ context.Context, cfg Config, _ *runOptions) (*binding, error) {
+	if t.Site == nil {
+		return nil, fmt.Errorf("mfc: LabTarget.Site is required")
+	}
+	listen := t.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	srv := labtarget.New(t.Site, t.Model)
+	srv.QueryDelay = t.QueryDelay
+	srv.EnableAccessLog()
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("mfc: starting lab target: %w", err)
+	}
+	go http.Serve(ln, srv)
+	url := "http://" + ln.Addr().String()
+
+	clients := t.Clients
+	if clients <= 0 {
+		clients = 40
+	}
+	plat, err := liveplat.NewInProcessPlatform(url, clients)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	fetcher, err := liveplat.NewHTTPFetcher(url)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	crawlMax := t.CrawlMax
+	if crawlMax <= 0 {
+		crawlMax = 200
+	}
+	return &binding{
+		platform:     plat,
+		fetcher:      fetcher,
+		host:         url,
+		base:         t.Site.Base,
+		crawl:        content.CrawlConfig{MaxObjects: crawlMax},
+		crawlTimeout: 5 * time.Minute, // loopback, but never hang the crawl
+		execute:      func(body func()) { body() },
+		finish: func(r *Session) {
+			r.URL = url
+			r.Lab = srv
+		},
+		close: func() { ln.Close() },
+	}, nil
+}

@@ -42,7 +42,40 @@ type (
 	Clock = core.Clock
 	// StaggerDist selects the staggered-arrival inter-arrival distribution.
 	StaggerDist = core.StaggerDist
+	// EpochKind distinguishes regular ramp epochs from check-phase epochs.
+	EpochKind = core.EpochKind
 )
+
+// Typed event stream: Run delivers these through WithObserver.
+type (
+	// Event is one item of a run's typed progress stream.
+	Event = core.Event
+	// Observer receives events synchronously on the coordinator's
+	// goroutine.
+	Observer = core.Observer
+	// StageStarted announces a stage is about to run.
+	StageStarted = core.StageStarted
+	// EpochCompleted reports one synchronized crowd's outcome.
+	EpochCompleted = core.EpochCompleted
+	// MeasurersReserved reports the §6 measurer reservation for one URL.
+	MeasurersReserved = core.MeasurersReserved
+	// CheckPhaseEntered announces the N-1/N/N+1 confirmation epochs.
+	CheckPhaseEntered = core.CheckPhaseEntered
+	// ExperimentFinished is the terminal event, exactly once per run.
+	ExperimentFinished = core.ExperimentFinished
+)
+
+// Epoch kind constants.
+const (
+	EpochRamp        = core.EpochRamp
+	EpochCheckMinus  = core.EpochCheckMinus
+	EpochCheckRepeat = core.EpochCheckRepeat
+	EpochCheckPlus   = core.EpochCheckPlus
+)
+
+// LogObserver renders events as human-readable progress lines through
+// logf (e.g. log.Printf) — the migration path for -v style CLI flags.
+func LogObserver(logf func(string, ...any)) Observer { return core.LogObserver(logf) }
 
 // Stagger distribution constants.
 const (
@@ -71,7 +104,12 @@ var Stages = core.Stages
 // DefaultConfig returns the paper's standard parameters.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
-// NewCoordinator builds a coordinator over a custom platform.
+// NewCoordinator builds a coordinator over a custom platform, rendering
+// its event stream as legacy log lines.
+//
+// Deprecated: use Run with a Target, or core's New with WithObserver for
+// custom platforms; NewCoordinator is a thin shim kept for migration
+// (proven equivalent by facade_test.go).
 func NewCoordinator(p Platform, cfg Config, logf func(string, ...any)) *Coordinator {
 	return core.NewCoordinator(p, cfg, logf)
 }

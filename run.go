@@ -7,176 +7,164 @@ import (
 
 	"mfc/internal/content"
 	"mfc/internal/core"
-	"mfc/internal/netsim"
+	"mfc/internal/labtarget"
 	"mfc/internal/websim"
 )
 
-// SimTarget describes a simulated experiment: the server model, its
-// content, background traffic, and the client population.
-type SimTarget struct {
-	// Server is the installation under test (use a Preset* or hand-build).
-	Server ServerConfig
-	// Site is the hosted content (required).
-	Site *Site
-	// Background is the non-MFC workload during the experiment (zero Rate
-	// disables it).
-	Background BackgroundConfig
-	// Clients is the number of simulated PlanetLab clients (default 65,
-	// the paper's validation population). Ignored when ClientSpecs is set.
-	Clients int
-	// LAN places the clients on the target's LAN (§3 lab setting) instead
-	// of the wide area.
-	LAN bool
-	// ClientSpecs overrides the generated client population entirely.
-	ClientSpecs []core.SimClientSpec
-	// Seed drives every random choice (default 1). The same SimTarget and
-	// Config always produce the same Result.
-	Seed int64
-	// CommandLoss and PollLoss are UDP control-message loss probabilities.
-	CommandLoss float64
-	PollLoss    float64
-	// Logf receives coordinator progress lines (nil = silent).
-	Logf func(string, ...any)
+// Target is where an MFC experiment runs. The three implementations cover
+// the paper's deployments:
+//
+//   - SimTarget: a discrete-event model of a web installation, virtual
+//     time, deterministic in (target, Config).
+//   - LabTarget: a real instrumented HTTP server started in this process,
+//     profiled over loopback by an in-process goroutine crowd (§3's lab
+//     setting).
+//   - LiveTarget: any reachable HTTP server, with the crowd either
+//     in-process goroutines or remote UDP-controlled agents (§4's
+//     wide-area deployment).
+//
+// Each target binds a core.Platform plus the profiling fetcher the crawl
+// stage needs; Run drives the same coordinator over all of them.
+type Target interface {
+	// open binds the target and returns the run binding, which owns
+	// platform-specific setup/teardown; Run owns the experiment itself.
+	open(ctx context.Context, cfg Config, ro *runOptions) (*binding, error)
 }
 
-// SimRun is the outcome of RunSimulatedDetailed: the result plus handles
-// into the simulation for resource attribution (the lab-validation
-// experiments read the monitor the way the paper reads atop).
-type SimRun struct {
-	Result  *Result
+// binding is one bound target: everything Run needs to profile it and
+// drive the coordinator, plus the hooks to tear the binding down.
+type binding struct {
+	platform core.Platform
+	fetcher  content.Fetcher
+	host     string // Result.Target label (site host or URL)
+	base     string // crawl entry path
+	crawl    content.CrawlConfig
+	// crawlTimeout bounds the profiling stage (0 = none). Real-network
+	// targets set it so a dripping server cannot hang the crawl forever.
+	crawlTimeout time.Duration
+
+	// execute runs the coordinator body on the platform's execution
+	// substrate: inside a simulated process for SimTarget (virtual time
+	// advances around it), directly on the calling goroutine for lab and
+	// live targets.
+	execute func(body func())
+	// finish copies platform-specific handles onto the Session.
+	finish func(r *Session)
+	// close releases sockets and servers; always called, even on error.
+	close func()
+}
+
+// runOptions collects RunOption state.
+type runOptions struct {
+	observer Observer
+	stage    *Stage
+}
+
+// RunOption customizes one Run call.
+type RunOption func(*runOptions)
+
+// WithObserver attaches a typed event observer to the run: StageStarted,
+// EpochCompleted, MeasurersReserved, CheckPhaseEntered and the terminal
+// ExperimentFinished arrive synchronously on the coordinator's goroutine,
+// in execution order. Multiple observers compose in registration order.
+func WithObserver(o Observer) RunOption {
+	return func(ro *runOptions) { ro.addObserver(o) }
+}
+
+// WithStage restricts the run to a single request category instead of the
+// standard three-stage sequence — the single-category mode the §5
+// population studies and the campaign engine use.
+func WithStage(s Stage) RunOption {
+	return func(ro *runOptions) { ro.stage = &s }
+}
+
+func (ro *runOptions) addObserver(o Observer) {
+	if o == nil {
+		return
+	}
+	if prev := ro.observer; prev != nil {
+		ro.observer = func(ev Event) { prev(ev); o(ev) }
+	} else {
+		ro.observer = o
+	}
+}
+
+// Session is the outcome of one Run call: the experiment result, the
+// profiling-stage outcome, and whatever handles the target kind exposes
+// for cooperative (§2.3) resource attribution.
+type Session struct {
+	// Result is the experiment outcome; on a canceled run it is the
+	// partial result with the interrupted stage tagged VerdictAborted.
+	Result *Result
+	// Profile is the profiling-stage outcome for the target.
 	Profile *Profile
-	Monitor *websim.Monitor
+
+	// URL is the target's reachable address (LabTarget and LiveTarget).
+	URL string
+
+	// Server and Monitor are the simulation handles (SimTarget only): the
+	// simulated installation and its atop-style resource monitor.
 	Server  *websim.Server
-	// VirtualElapsed is how much simulated time the experiment spanned.
+	Monitor *websim.Monitor
+	// VirtualElapsed is how much simulated time the experiment spanned
+	// (SimTarget only).
 	VirtualElapsed time.Duration
+
+	// Lab is the in-process instrumented server (LabTarget only).
+	Lab *labtarget.Server
 }
 
-// RunSimulated executes a full three-stage MFC experiment in simulation.
-func RunSimulated(t SimTarget, cfg Config) (*Result, error) {
-	run, err := RunSimulatedDetailed(t, cfg)
+// Run executes a full MFC experiment against a target: profile it (the
+// §2.2.1 crawl), then drive the staged crowd ramp over the target's
+// platform. The same call works for simulated, lab and live targets.
+//
+// ctx cancellation is honored at epoch boundaries: a canceled run returns
+// the partial *Session — its Result's interrupted stage tagged
+// VerdictAborted — together with ctx's error, so long campaigns and live
+// runs abort cleanly without losing what was measured.
+func Run(ctx context.Context, t Target, cfg Config, opts ...RunOption) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ro := &runOptions{}
+	for _, opt := range opts {
+		opt(ro)
+	}
+	s, err := t.open(ctx, cfg, ro)
 	if err != nil {
 		return nil, err
 	}
-	return run.Result, nil
-}
+	defer s.close()
 
-// RunSimulatedDetailed is RunSimulated returning the simulation handles.
-func RunSimulatedDetailed(t SimTarget, cfg Config) (*SimRun, error) {
-	if t.Site == nil {
-		return nil, fmt.Errorf("mfc: SimTarget.Site is required")
+	// Profiling stage. The crawl precedes the experiment and its cost is
+	// not part of any reported measurement (§2.2.1).
+	crawlCtx := ctx
+	if s.crawlTimeout > 0 {
+		var cancel context.CancelFunc
+		crawlCtx, cancel = context.WithTimeout(ctx, s.crawlTimeout)
+		defer cancel()
 	}
-	seed := t.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	env := netsim.NewEnv(seed)
-	server := websim.NewServer(env, t.Server, t.Site)
-	server.EnableAccessLog()
-
-	specs := t.ClientSpecs
-	if specs == nil {
-		n := t.Clients
-		if n <= 0 {
-			n = 65
-		}
-		if t.LAN {
-			specs = core.LANSpecs(env, n)
-		} else {
-			specs = core.PlanetLabSpecs(env, n)
-		}
-	}
-	plat := core.NewSimPlatform(env, server, specs)
-	plat.CommandLoss = t.CommandLoss
-	plat.PollLoss = t.PollLoss
-
-	// Profile the target. The crawl runs against the site model directly:
-	// the paper's profiling step precedes the MFC run and its cost is not
-	// part of any reported measurement.
-	prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: t.Site},
-		t.Site.Host, t.Site.Base, content.CrawlConfig{})
+	prof, err := content.Crawl(crawlCtx, s.fetcher, s.host, s.base, s.crawl)
 	if err != nil {
 		return nil, fmt.Errorf("mfc: profiling target: %w", err)
 	}
 
-	bg := websim.StartBackground(env, server, t.Background)
-	mon := websim.NewMonitor(env, server, time.Second)
-
-	run := &SimRun{Profile: prof, Monitor: mon, Server: server}
+	run := &Session{Profile: prof}
+	coord := core.New(s.platform, cfg, core.WithObserver(ro.observer))
 	var expErr error
-	env.Go("coordinator", func(p *netsim.Proc) {
-		plat.Bind(p)
-		coord := core.NewCoordinator(plat, cfg, t.Logf)
-		run.Result, expErr = coord.RunExperiment(t.Site.Host, prof)
-		bg.Stop()
-		mon.Stop()
+	s.execute(func() {
+		if ro.stage != nil {
+			run.Result, expErr = coord.RunSingleStage(ctx, s.host, *ro.stage, prof)
+		} else {
+			run.Result, expErr = coord.RunExperiment(ctx, s.host, prof)
+		}
 	})
-	env.Run(0)
-	run.VirtualElapsed = env.Now()
-	if expErr != nil {
+	if s.finish != nil {
+		s.finish(run)
+	}
+	if expErr != nil && run.Result == nil {
 		return nil, expErr
 	}
-	return run, nil
-}
-
-// RunSimulatedStage runs a single stage (used by experiments that only need
-// one request category, e.g. the §5 population studies run Base only for
-// Figure 7).
-func RunSimulatedStage(t SimTarget, cfg Config, stage Stage) (*StageResult, *SimRun, error) {
-	if t.Site == nil {
-		return nil, nil, fmt.Errorf("mfc: SimTarget.Site is required")
-	}
-	seed := t.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	env := netsim.NewEnv(seed)
-	server := websim.NewServer(env, t.Server, t.Site)
-	server.EnableAccessLog()
-
-	specs := t.ClientSpecs
-	if specs == nil {
-		n := t.Clients
-		if n <= 0 {
-			n = 65
-		}
-		if t.LAN {
-			specs = core.LANSpecs(env, n)
-		} else {
-			specs = core.PlanetLabSpecs(env, n)
-		}
-	}
-	plat := core.NewSimPlatform(env, server, specs)
-	plat.CommandLoss = t.CommandLoss
-	plat.PollLoss = t.PollLoss
-
-	prof, err := content.Crawl(context.Background(), content.SiteFetcher{Site: t.Site},
-		t.Site.Host, t.Site.Base, content.CrawlConfig{})
-	if err != nil {
-		return nil, nil, fmt.Errorf("mfc: profiling target: %w", err)
-	}
-
-	bg := websim.StartBackground(env, server, t.Background)
-	mon := websim.NewMonitor(env, server, time.Second)
-
-	run := &SimRun{Profile: prof, Monitor: mon, Server: server}
-	var sr *StageResult
-	var regErr error
-	env.Go("coordinator", func(p *netsim.Proc) {
-		plat.Bind(p)
-		coord := core.NewCoordinator(plat, cfg, t.Logf)
-		if err := coord.Register(); err != nil {
-			regErr = err
-		} else {
-			sr = coord.RunStage(stage, prof)
-		}
-		bg.Stop()
-		mon.Stop()
-	})
-	env.Run(0)
-	run.VirtualElapsed = env.Now()
-	if regErr != nil {
-		return nil, nil, regErr
-	}
-	run.Result = &Result{Target: t.Site.Host, Stages: []*core.StageResult{sr}}
-	return sr, run, nil
+	// A canceled run surfaces both the partial result and ctx's error.
+	return run, expErr
 }

@@ -1,0 +1,193 @@
+package mfc
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mfc/internal/content"
+	"mfc/internal/core"
+	"mfc/internal/netsim"
+	"mfc/internal/websim"
+)
+
+// SimClientSpec describes one simulated wide-area client.
+type SimClientSpec = core.SimClientSpec
+
+// SimTarget describes a simulated experiment: the server model, its
+// content, background traffic, and the client population. It implements
+// Target; a SimTarget run is deterministic in (SimTarget, Config).
+type SimTarget struct {
+	// Server is the installation under test (use a Preset* or hand-build).
+	Server ServerConfig
+	// Site is the hosted content (required).
+	Site *Site
+	// Background is the non-MFC workload during the experiment (zero Rate
+	// disables it).
+	Background BackgroundConfig
+	// Clients is the number of simulated PlanetLab clients (default 65,
+	// the paper's validation population). Ignored when ClientSpecs or
+	// Specs is set.
+	Clients int
+	// LAN places the clients on the target's LAN (§3 lab setting) instead
+	// of the wide area.
+	LAN bool
+	// ClientSpecs overrides the generated client population entirely.
+	ClientSpecs []SimClientSpec
+	// Specs, when non-nil, generates the client population against the
+	// simulation environment — for populations that reference simulation
+	// entities, e.g. a shared middle bottleneck link (§2.2.3's confound).
+	// Takes precedence over Clients/LAN; ignored when ClientSpecs is set.
+	Specs func(env *netsim.Env) []SimClientSpec
+	// Seed drives every random choice (default 1). The same SimTarget and
+	// Config always produce the same Result.
+	Seed int64
+	// CommandLoss and PollLoss are UDP control-message loss probabilities.
+	CommandLoss float64
+	PollLoss    float64
+
+	// NoAccessLog disables the simulated server's access log. The log is
+	// on by default (arrival-spread analyses read it); campaign-scale runs
+	// switch it off to keep memory flat.
+	NoAccessLog bool
+	// MonitorPeriod sets the atop-style resource monitor's sampling
+	// period: 0 means the 1s default, negative disables the monitor
+	// (campaign-scale runs).
+	MonitorPeriod time.Duration
+
+	// Logf receives coordinator progress lines.
+	//
+	// Deprecated: use WithObserver on Run for the typed event stream; Logf
+	// is rendered from the same events.
+	Logf func(string, ...any)
+}
+
+// open implements Target.
+func (t SimTarget) open(_ context.Context, cfg Config, ro *runOptions) (*binding, error) {
+	if t.Site == nil {
+		return nil, fmt.Errorf("mfc: SimTarget.Site is required")
+	}
+	seed := t.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	env := netsim.NewEnv(seed)
+	server := websim.NewServer(env, t.Server, t.Site)
+	if !t.NoAccessLog {
+		server.EnableAccessLog()
+	}
+
+	specs := t.ClientSpecs
+	if specs == nil && t.Specs != nil {
+		specs = t.Specs(env)
+	}
+	if specs == nil {
+		n := t.Clients
+		if n <= 0 {
+			n = 65
+		}
+		if t.LAN {
+			specs = core.LANSpecs(env, n)
+		} else {
+			specs = core.PlanetLabSpecs(env, n)
+		}
+	}
+	plat := core.NewSimPlatform(env, server, specs)
+	plat.CommandLoss = t.CommandLoss
+	plat.PollLoss = t.PollLoss
+
+	bg := websim.StartBackground(env, server, t.Background)
+	var mon *websim.Monitor
+	if t.MonitorPeriod >= 0 {
+		mon = websim.NewMonitor(env, server, t.MonitorPeriod)
+	}
+	ro.addObserver(core.LogObserver(t.Logf))
+
+	return &binding{
+		platform: plat,
+		fetcher:  content.SiteFetcher{Site: t.Site},
+		host:     t.Site.Host,
+		base:     t.Site.Base,
+		execute: func(body func()) {
+			env.Go("coordinator", func(p *netsim.Proc) {
+				plat.Bind(p)
+				body()
+				bg.Stop()
+				if mon != nil {
+					mon.Stop()
+				}
+			})
+			env.Run(0)
+		},
+		finish: func(r *Session) {
+			r.Server = server
+			r.Monitor = mon
+			r.VirtualElapsed = env.Now()
+		},
+		close: func() {},
+	}, nil
+}
+
+// SimRun is the outcome of RunSimulatedDetailed: the result plus handles
+// into the simulation for resource attribution (the lab-validation
+// experiments read the monitor the way the paper reads atop).
+//
+// Deprecated: Run returns the same handles on *Session.
+type SimRun struct {
+	Result  *Result
+	Profile *Profile
+	Monitor *websim.Monitor
+	Server  *websim.Server
+	// VirtualElapsed is how much simulated time the experiment spanned.
+	VirtualElapsed time.Duration
+}
+
+// RunSimulated executes a full three-stage MFC experiment in simulation.
+//
+// Deprecated: use Run with a SimTarget; RunSimulated is a thin shim over
+// it (proven equivalent by facade_test.go).
+func RunSimulated(t SimTarget, cfg Config) (*Result, error) {
+	run, err := Run(context.Background(), t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return run.Result, nil
+}
+
+// RunSimulatedDetailed is RunSimulated returning the simulation handles.
+//
+// Deprecated: use Run with a SimTarget, which exposes the same handles
+// on *Session.
+func RunSimulatedDetailed(t SimTarget, cfg Config) (*SimRun, error) {
+	run, err := Run(context.Background(), t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SimRun{
+		Result:         run.Result,
+		Profile:        run.Profile,
+		Monitor:        run.Monitor,
+		Server:         run.Server,
+		VirtualElapsed: run.VirtualElapsed,
+	}, nil
+}
+
+// RunSimulatedStage runs a single stage (used by experiments that only need
+// one request category, e.g. the §5 population studies run Base only for
+// Figure 7).
+//
+// Deprecated: use Run with WithStage.
+func RunSimulatedStage(t SimTarget, cfg Config, stage Stage) (*StageResult, *SimRun, error) {
+	run, err := Run(context.Background(), t, cfg, WithStage(stage))
+	if err != nil {
+		return nil, nil, err
+	}
+	sr := run.Result.Stages[0]
+	return sr, &SimRun{
+		Result:         run.Result,
+		Profile:        run.Profile,
+		Monitor:        run.Monitor,
+		Server:         run.Server,
+		VirtualElapsed: run.VirtualElapsed,
+	}, nil
+}
