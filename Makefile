@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-short bench-check experiments fuzz campaign-smoke api apicheck ci
+.PHONY: build test race vet fmt-check bench bench-short bench-check experiments fuzz campaign-smoke campaign-dist-smoke api apicheck ci
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 # DES kernel it drives, the coordinator (event stream + cancellation), and
 # the experiments/campaign layers that fan out on it.
 race:
-	$(GO) test -race ./internal/runner ./internal/netsim ./internal/core ./internal/experiments ./internal/campaign
+	$(GO) test -race ./internal/runner ./internal/netsim ./internal/core ./internal/experiments ./internal/campaign ./internal/campaign/dist ./internal/campaign/dist/lease
 
 # API-surface lock: api.txt is the checked-in `go doc -all` of the public
 # package. `make api` regenerates it after an intentional API change;
@@ -56,6 +56,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzShardTail$$' -fuzztime 10s ./internal/campaign
 	$(GO) test -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime 10s ./internal/campaign
+	$(GO) test -run '^$$' -fuzz '^FuzzLease$$' -fuzztime 10s ./internal/campaign/dist/lease
 
 # Kill + resume determinism check, the same sequence CI runs.
 campaign-smoke:
@@ -71,4 +72,27 @@ campaign-smoke:
 	diff /tmp/report-clean.txt /tmp/report-killed.txt
 	@echo "kill+resume report is byte-identical"
 
-ci: build vet fmt-check apicheck test race
+# Distributed smoke, the same sequence CI runs: 3 `work` processes share
+# one plan over a shared dir, one is killed -9 as soon as records exist
+# (mid-shard, holding a lease), the survivors take its shards over, and
+# the merged report must be byte-identical to the single-process run.
+campaign-dist-smoke:
+	$(GO) build -o /tmp/mfc-campaign ./cmd/mfc-campaign
+	rm -rf /tmp/camp-dist-base /tmp/camp-dist-shared
+	/tmp/mfc-campaign plan -dir /tmp/camp-dist-base -bands rank-1K-10K -stages base,query -sites 100 -seed 11 -shard-jobs 16
+	/tmp/mfc-campaign run -dir /tmp/camp-dist-base -quiet
+	/tmp/mfc-campaign report -dir /tmp/camp-dist-base > /tmp/camp-dist-base.txt
+	/tmp/mfc-campaign plan -dir /tmp/camp-dist-shared -bands rank-1K-10K -stages base,query -sites 100 -seed 11 -shard-jobs 16
+	@set -e; \
+	/tmp/mfc-campaign work -dir /tmp/camp-dist-shared -owner w1 -quiet & W1=$$!; \
+	/tmp/mfc-campaign work -dir /tmp/camp-dist-shared -owner w2 -quiet & W2=$$!; \
+	/tmp/mfc-campaign work -dir /tmp/camp-dist-shared -owner w3 -quiet & W3=$$!; \
+	until [ -n "$$(ls -A /tmp/camp-dist-shared/shards 2>/dev/null)" ]; do sleep 0.05; done; \
+	kill -9 $$W1 2>/dev/null || true; \
+	wait $$W2; wait $$W3; wait $$W1 || true
+	/tmp/mfc-campaign work -dir /tmp/camp-dist-shared -owner rescuer -quiet
+	/tmp/mfc-campaign report -dir /tmp/camp-dist-shared > /tmp/camp-dist-shared.txt
+	diff /tmp/camp-dist-base.txt /tmp/camp-dist-shared.txt
+	@echo "multi-worker kill -9 + takeover report is byte-identical"
+
+ci: build vet fmt-check apicheck test race campaign-dist-smoke

@@ -8,11 +8,21 @@
 //	mfc-campaign plan   -dir DIR -bands all|b1,b2 -stages base,query,large -sites N [-seed S] [-name NAME]
 //	mfc-campaign run    -dir DIR [-workers N] [-halt-after N] [-quiet]
 //	mfc-campaign resume -dir DIR [-workers N] [-quiet]
-//	mfc-campaign report -dir DIR
+//	mfc-campaign work   -dir DIR [-workers N] [-owner ID] [-ttl D] [-poll D] [-halt-after N] [-quiet]
+//	mfc-campaign report -dir DIR [-dir DIR ...]
+//	mfc-campaign merge  -out DIR -dir DIR [-dir DIR ...]
 //
 // `resume` is `run` with a guard that the campaign already has stored
-// results; both skip every job that already holds a record. The report is
-// byte-identical however many times the campaign was interrupted.
+// results; both skip every job that already holds a record, and both hold
+// the campaign directory's exclusive store lease so two uncoordinated
+// runs fail fast. `work` is the distributed flavor: any number of work
+// processes (on one host, or on many over a shared filesystem) claim
+// disjoint result shards via crash-safe leases, survive kill -9 of any
+// worker through stale-lease takeover, and append to the same store.
+// `report` merges one or many stores of the same plan; `merge` writes the
+// consolidated store to a fresh directory. However the jobs were split,
+// killed or resumed, the report is byte-identical to an uninterrupted
+// single-process run.
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"time"
 
 	"mfc/internal/campaign"
+	"mfc/internal/campaign/dist"
 	"mfc/internal/core"
 	"mfc/internal/population"
 )
@@ -44,8 +55,12 @@ func main() {
 		err = cmdRun(os.Args[2:], false)
 	case "resume":
 		err = cmdRun(os.Args[2:], true)
+	case "work":
+		err = cmdWork(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -62,13 +77,33 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  mfc-campaign plan   -dir DIR -bands all|b1,b2,... -stages base,query,large -sites N [-seed S] [-name NAME]
+  mfc-campaign plan   -dir DIR -bands all|b1,b2,... -stages base,query,large -sites N [-seed S] [-name NAME] [-shard-jobs N]
   mfc-campaign run    -dir DIR [-workers N] [-halt-after N] [-quiet]
   mfc-campaign resume -dir DIR [-workers N] [-quiet]
-  mfc-campaign report -dir DIR
+  mfc-campaign work   -dir DIR [-workers N] [-owner ID] [-ttl D] [-poll D] [-halt-after N] [-quiet]
+  mfc-campaign report -dir DIR [-dir DIR ...]
+  mfc-campaign merge  -out DIR -dir DIR [-dir DIR ...]
+
+work runs one distributed worker: start any number of them on the same
+campaign dir (shared filesystem included); they lease disjoint result
+shards, take over shards of crashed peers, and checkpoint independently.
+report over several -dir flags merges stores of one plan; merge writes
+the consolidated store to -out.
 
 bands:  all, `+strings.Join(bandNames(), ", ")+`
 stages: base, query, large`)
+}
+
+// dirList collects repeated -dir flags.
+type dirList []string
+
+func (d *dirList) String() string { return strings.Join(*d, ",") }
+func (d *dirList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty -dir")
+	}
+	*d = append(*d, v)
+	return nil
 }
 
 func bandNames() []string {
@@ -88,6 +123,7 @@ func cmdPlan(args []string) error {
 		sites  = fs.Int("sites", 100, "sites per band x stage cell")
 		seed   = fs.Int64("seed", 1, "campaign seed (with band and site index, determines every job)")
 		name   = fs.String("name", "", "campaign name (default: derived from the matrix)")
+		shard  = fs.Int("shard-jobs", 0, "jobs per result shard (default 512); the shard is also the unit distributed workers claim")
 	)
 	fs.Parse(args)
 	if *dir == "" {
@@ -108,6 +144,9 @@ func cmdPlan(args []string) error {
 	plan, err := campaign.NewPlan(*name, bl, sl, *sites, *seed)
 	if err != nil {
 		return err
+	}
+	if *shard > 0 {
+		plan.ShardJobs = *shard
 	}
 	if err := plan.Save(*dir); err != nil {
 		return err
@@ -191,20 +230,99 @@ func cmdRun(args []string, resume bool) error {
 	return nil
 }
 
+// cmdWork runs one distributed worker against the campaign: it claims
+// free result shards by lease, runs their pending jobs, takes over stale
+// leases of crashed peers, and polls while live peers hold the rest.
+func cmdWork(args []string) error {
+	fs := flag.NewFlagSet("work", flag.ExitOnError)
+	var (
+		dir       = fs.String("dir", "", "campaign directory (must hold plan.json)")
+		workers   = fs.Int("workers", 0, "per-shard measurement pool bound (0 = GOMAXPROCS)")
+		owner     = fs.String("owner", "", "worker id in lease files (default: host-pid-seq; must be unique per worker)")
+		ttl       = fs.Duration("ttl", 0, "lease staleness bound (default 15s)")
+		poll      = fs.Duration("poll", 0, "wait between passes when peers hold all pending shards (default 2s)")
+		haltAfter = fs.Int("halt-after", 0, "stop cleanly after N new completions (testing/CI)")
+		quiet     = fs.Bool("quiet", false, "suppress the live progress line")
+	)
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("work: -dir is required")
+	}
+
+	opts := dist.WorkOptions{
+		Owner: *owner, Workers: *workers, TTL: *ttl, Poll: *poll, HaltAfter: *haltAfter,
+	}
+	if !*quiet {
+		p := newProgress()
+		opts.OnStart = p.start
+		opts.OnEvent = p.onEvent
+		opts.OnClaim = p.onClaim
+		opts.OnShardDone = p.onShardDone
+	}
+	st, err := dist.Work(context.Background(), *dir, opts)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return err
+	}
+	verb := "worker done"
+	if st.Halted {
+		verb = "worker halted"
+	}
+	fmt.Printf("%s (%s): %d jobs measured (%d errored) over %d shards claimed (%d takeovers, %d sealed, %d fenced)\n",
+		verb, st.Owner, st.NewlyDone, st.Errored, st.ShardsClaimed, st.Takeovers, st.ShardsFinished, st.Fenced)
+	return nil
+}
+
+// cmdMerge consolidates one or many result stores of the same plan into a
+// fresh campaign directory.
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	var dirs dirList
+	out := fs.String("out", "", "output campaign directory (fresh)")
+	fs.Var(&dirs, "dir", "source store directory (repeatable)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("merge: -out is required")
+	}
+	if len(dirs) == 0 {
+		return fmt.Errorf("merge: at least one -dir is required")
+	}
+	if err := dist.Merge(dirs, *out); err != nil {
+		return err
+	}
+	m, err := campaign.LoadManifest(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("merged %d store(s) into %s: %d/%d jobs\n", len(dirs), *out, m.Done, m.Total)
+	return nil
+}
+
 // progress renders the live line from the campaign's typed event stream:
 // overall completion from the terminal ExperimentFinished events, epoch
-// throughput from EpochCompleted, and a per-band ETA extrapolated from
-// each band's observed completion rate.
+// throughput from EpochCompleted, an overall ETA from this session's
+// completion rate — previously-completed sites anchor the percentage but
+// never the rate, so a resume shows an honest ETA instead of one deflated
+// by jobs that finished in an earlier session — and a per-band ETA
+// extrapolated the same way. When driven by `work` it also shows shard
+// lease churn (claimed/sealed).
 type progress struct {
-	mu      sync.Mutex
-	started time.Time
-	total   int
-	already int
-	done    int
-	epochs  int64 // updated outside mu: atomic
+	mu        sync.Mutex
+	started   time.Time
+	total     int
+	already   int
+	done      int       // completions this session only
+	firstDone time.Time // this session's first completion (rate anchor)
+	epochs    int64     // updated outside mu: atomic
 
 	order []string
 	bands map[string]*bandState
+
+	// Shard lease churn, only rendered once a claim happens (work verb).
+	shardsClaimed int
+	shardsSealed  int
 
 	lastLine atomic.Int64
 }
@@ -231,6 +349,18 @@ func (p *progress) start(info campaign.StartInfo) {
 	sort.Strings(p.order)
 }
 
+func (p *progress) onClaim(int) {
+	p.mu.Lock()
+	p.shardsClaimed++
+	p.mu.Unlock()
+}
+
+func (p *progress) onShardDone(int, int) {
+	p.mu.Lock()
+	p.shardsSealed++
+	p.mu.Unlock()
+}
+
 func (p *progress) onEvent(ev campaign.SiteEvent) {
 	switch ev.Event.(type) {
 	case core.EpochCompleted:
@@ -241,6 +371,9 @@ func (p *progress) onEvent(ev campaign.SiteEvent) {
 		return
 	}
 	p.mu.Lock()
+	if p.done == 0 {
+		p.firstDone = time.Now()
+	}
 	p.done++
 	b := p.bands[ev.Band]
 	if b != nil {
@@ -262,26 +395,47 @@ func (p *progress) onEvent(ev campaign.SiteEvent) {
 	fmt.Fprint(os.Stderr, line)
 }
 
+// sessionETA extrapolates the time to finish `left` jobs from `done`
+// completions since `first`. The rate counts only completions after the
+// first (the first anchors the clock — one data point is not a rate yet),
+// and deliberately never includes jobs completed before this session: a
+// resumed campaign's already-done sites say nothing about how fast this
+// session is measuring.
+func sessionETA(done, left int, first time.Time) (time.Duration, bool) {
+	if left <= 0 || done < 2 {
+		return 0, false
+	}
+	elapsed := time.Since(first).Seconds()
+	if elapsed <= 0 {
+		return 0, false
+	}
+	rate := float64(done-1) / elapsed
+	return time.Duration(float64(left)/rate) * time.Second, true
+}
+
 func (p *progress) renderLocked() string {
 	var b strings.Builder
 	overall := p.already + p.done
 	fmt.Fprintf(&b, "\r%d/%d sites (%.1f%%) %.0fs %d epochs",
 		overall, p.total, 100*float64(overall)/float64(p.total),
 		time.Since(p.started).Seconds(), atomic.LoadInt64(&p.epochs))
+	if p.already > 0 {
+		fmt.Fprintf(&b, " (+%d earlier)", p.already)
+	}
+	if p.shardsClaimed > 0 {
+		fmt.Fprintf(&b, " shards %d/%d", p.shardsSealed, p.shardsClaimed)
+	}
+	if eta, ok := sessionETA(p.done, p.total-overall, p.firstDone); ok {
+		fmt.Fprintf(&b, " eta %s", eta.Round(time.Second))
+	}
 	for _, band := range p.order {
 		bs := p.bands[band]
 		if bs.pending == 0 {
 			continue
 		}
 		fmt.Fprintf(&b, " | %s %d/%d", band, bs.done, bs.pending)
-		// Rate from the completions *after* the first (the first only
-		// anchors the clock); one data point is not a rate yet.
-		if left := bs.pending - bs.done; left > 0 && bs.done >= 2 {
-			if elapsed := time.Since(bs.first).Seconds(); elapsed > 0 {
-				rate := float64(bs.done-1) / elapsed
-				eta := time.Duration(float64(left)/rate) * time.Second
-				fmt.Fprintf(&b, " eta %s", eta.Round(time.Second))
-			}
+		if eta, ok := sessionETA(bs.done, bs.pending-bs.done, bs.first); ok {
+			fmt.Fprintf(&b, " eta %s", eta.Round(time.Second))
 		}
 	}
 	b.WriteString(" ")
@@ -290,10 +444,14 @@ func (p *progress) renderLocked() string {
 
 func cmdReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
-	dir := fs.String("dir", "", "campaign directory")
+	var dirs dirList
+	fs.Var(&dirs, "dir", "campaign directory (repeatable: merge stores of one plan)")
 	fs.Parse(args)
-	if *dir == "" {
-		return fmt.Errorf("report: -dir is required")
+	if len(dirs) == 0 {
+		return fmt.Errorf("report: at least one -dir is required")
 	}
-	return campaign.Report(*dir, os.Stdout)
+	if len(dirs) == 1 {
+		return campaign.Report(dirs[0], os.Stdout)
+	}
+	return dist.Report(dirs, os.Stdout)
 }

@@ -49,4 +49,13 @@
 // RunSimulatedStage and NewCoordinator — remain as thin deprecated shims
 // over Run; facade_test.go proves them equivalent. See DESIGN.md for the
 // migration table.
+//
+// Population-scale §5 studies run through cmd/mfc-campaign: plan a band ×
+// stage × sites matrix once, then run it with a single process (`run` /
+// `resume`) or many (`work`, one per process or host — workers claim
+// disjoint result shards via crash-safe leases and survive kill -9 of any
+// peer), and aggregate with `report` over one or many result stores or
+// `merge` into a consolidated one; the report is byte-identical however
+// the jobs were split, killed or resumed. See DESIGN.md "Distributed
+// campaigns".
 package mfc

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mfc"
+	"mfc/internal/campaign/dist/lease"
 	"mfc/internal/core"
 	"mfc/internal/population"
 	"mfc/internal/runner"
@@ -64,6 +65,14 @@ type SiteEvent struct {
 	Event core.Event
 }
 
+// Terminal reports whether this is the job's terminal ExperimentFinished
+// event — delivered exactly once per job, the unit progress counting and
+// halt logic key off.
+func (ev SiteEvent) Terminal() bool {
+	_, ok := ev.Event.(core.ExperimentFinished)
+	return ok
+}
+
 // Status summarizes one Run invocation.
 type Status struct {
 	Total       int  // jobs in the plan
@@ -86,11 +95,21 @@ func Run(ctx context.Context, dir string, opts Options) (*Status, error) {
 	if err != nil {
 		return nil, err
 	}
-	store, err := OpenStore(dir, plan.ShardJobs)
+	// The exclusive store lease makes two uncoordinated single-process
+	// runs on one directory fail fast instead of interleaving shard
+	// appends; a stale lease (previous run killed) is taken over, so
+	// resume keeps working. Losing the lease mid-run (this process wedged
+	// past the TTL and someone else took over) cancels the run.
+	runCtx, cancelRun := context.WithCancelCause(ctx)
+	defer cancelRun(nil)
+	store, err := OpenStoreLocked(dir, plan.ShardJobs, lease.DefaultOwner(), lease.DefaultTTL, func() {
+		cancelRun(fmt.Errorf("campaign: store lease on %s lost mid-run", dir))
+	})
 	if err != nil {
 		return nil, err
 	}
 	defer store.Close()
+	ctx = runCtx
 
 	total := plan.Jobs()
 	completed, err := store.Completed(total)
@@ -148,7 +167,7 @@ func Run(ctx context.Context, dir string, opts Options) (*Status, error) {
 		if opts.OnEvent != nil {
 			opts.OnEvent(ev)
 		}
-		if _, ok := ev.Event.(core.ExperimentFinished); !ok {
+		if !ev.Terminal() {
 			return
 		}
 		n := newly.Add(1)
@@ -161,7 +180,7 @@ func Run(ctx context.Context, dir string, opts Options) (*Status, error) {
 	}
 	runErr := runner.ForEach(jobCtx, len(pending), func(_ context.Context, i int) error {
 		job := pending[i]
-		rec := measureJob(plan, job, onSite)
+		rec := Measure(plan, job, onSite)
 		if err := store.Append(rec); err != nil {
 			return err // a dead store is fatal: nothing can be recorded
 		}
@@ -181,6 +200,11 @@ func Run(ctx context.Context, dir string, opts Options) (*Status, error) {
 			opts.HaltAfter > 0 && int(newly.Load()) >= opts.HaltAfter {
 			st.Halted = true
 		} else {
+			// A lost store lease cancels runCtx with its own cause; report
+			// that instead of the bare context.Canceled it decays into.
+			if cause := context.Cause(runCtx); cause != nil && !errors.Is(cause, context.Canceled) {
+				return st, cause
+			}
 			return st, runErr
 		}
 	}
@@ -231,13 +255,14 @@ func (c *checkpointState) writeLocked() error {
 	return WriteManifest(c.dir, m)
 }
 
-// measureJob runs job j of the plan: generate the site in O(1) from its
+// Measure runs job j of the plan: generate the site in O(1) from its
 // index, simulate one single-stage MFC against it, and package the
-// outcome. Everything is derived from (plan, j); errors are captured in
-// the record. onEvent receives the site's tagged coordinator events and is
-// guaranteed exactly one terminal ExperimentFinished per job, even when
-// the measurement fails before a coordinator runs.
-func measureJob(plan *Plan, j int, onEvent func(SiteEvent)) *Record {
+// outcome. Everything is derived from (plan, j) — this determinism is what
+// lets any worker, in any process, produce the record — and errors are
+// captured in the record. onEvent receives the site's tagged coordinator
+// events and is guaranteed exactly one terminal ExperimentFinished per
+// job, even when the measurement fails before a coordinator runs.
+func Measure(plan *Plan, j int, onEvent func(SiteEvent)) *Record {
 	cell := plan.Cells[plan.CellOf(j)]
 	band, _ := population.ParseBand(cell.Band) // validated at load
 	stage, _ := ParseStage(cell.Stage)         // validated at load

@@ -3,11 +3,14 @@ package campaign
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"mfc/internal/campaign/dist/lease"
 	"mfc/internal/core"
 	"mfc/internal/population"
 )
@@ -164,6 +167,80 @@ func TestPlanSaveRefusesReplacement(t *testing.T) {
 	other.Seed++
 	if err := other.Save(dir); err == nil {
 		t.Fatal("replacing an existing plan was allowed")
+	}
+}
+
+// Two uncoordinated single-process runs on one campaign directory must
+// fail fast: the second Run cannot acquire the exclusive store lease.
+func TestSecondRunFailsFastWhileStoreLocked(t *testing.T) {
+	dir := t.TempDir()
+	plan := testPlan(t, dir)
+	store, err := OpenStoreLocked(dir, plan.ShardJobs, "first-run", time.Minute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if _, err := Run(context.Background(), dir, Options{}); err == nil {
+		t.Fatal("second run on a locked campaign dir did not fail fast")
+	} else if !strings.Contains(err.Error(), "in use") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// A legacy single-process run must also fail fast while dist workers hold
+// live shard leases on the directory.
+func TestRunFailsFastWithLiveShardLease(t *testing.T) {
+	dir := t.TempDir()
+	testPlan(t, dir)
+	h, err := lease.Acquire(LeasesDir(dir), ShardLeaseName(1), "worker-elsewhere", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if _, err := Run(context.Background(), dir, Options{}); err == nil {
+		t.Fatal("run with a live worker shard lease did not fail fast")
+	} else if !strings.Contains(err.Error(), "worker lease") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The failed run must not have left its own store lease behind.
+	if _, ok := lease.Holder(LeasesDir(dir), "store", time.Minute); ok {
+		t.Fatal("failed run leaked the store lease")
+	}
+}
+
+// A stale store lease (previous run killed) must be taken over, not block
+// resume forever.
+func TestRunTakesOverStaleStoreLease(t *testing.T) {
+	dir := t.TempDir()
+	testPlan(t, dir)
+	h, err := lease.Acquire(LeasesDir(dir), "store", "killed-run", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fake the kill: age the heartbeat past the TTL with a dead pid.
+	info, err := lease.Read(LeasesDir(dir), "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info.HeartbeatUnixNano = time.Now().Add(-time.Hour).UnixNano()
+	info.PID = 0
+	writeLease(t, dir, "store", info)
+	_ = h
+
+	st := runToCompletion(t, dir, Options{})
+	if st.Done() != st.Total {
+		t.Fatalf("run after stale-lease takeover incomplete: %+v", st)
+	}
+}
+
+func writeLease(t *testing.T, dir, name string, info *lease.Info) {
+	t.Helper()
+	data, err := json.Marshal(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(lease.Path(LeasesDir(dir), name), data, 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 

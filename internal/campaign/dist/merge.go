@@ -1,0 +1,170 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"mfc/internal/campaign"
+)
+
+// Cross-store merging: workers that cannot share a filesystem each run
+// against their own campaign directory (same plan, disjoint or even
+// overlapping job subsets) and the stores are merged afterwards — the
+// "mergeable distributed summaries" pattern. Determinism carries over
+// unchanged: records are pure functions of (plan, job), the fold visits
+// jobs in (shard, job) order with duplicates dropped, so the merged
+// report over any collection of stores whose records union to the full
+// plan is byte-identical to the single-process run's report.
+
+// openStores loads and cross-checks the plans of every dir, returning the
+// shared plan and one read-only store per dir. Plans must be identical in
+// every field: records from different plans are not comparable.
+func openStores(dirs []string) (*campaign.Plan, []*campaign.Store, func(), error) {
+	if len(dirs) == 0 {
+		return nil, nil, nil, fmt.Errorf("dist: no store directories given")
+	}
+	plan, err := campaign.LoadPlan(dirs[0])
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	stores := make([]*campaign.Store, 0, len(dirs))
+	closeAll := func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}
+	for i, dir := range dirs {
+		if i > 0 {
+			p, err := campaign.LoadPlan(dir)
+			if err != nil {
+				closeAll()
+				return nil, nil, nil, err
+			}
+			if !plan.Same(p) {
+				closeAll()
+				return nil, nil, nil, fmt.Errorf("dist: %s holds plan %q which differs from %s's plan %q; only stores of one plan can merge",
+					dir, p.Name, dirs[0], plan.Name)
+			}
+		}
+		s, err := campaign.OpenStore(dir, plan.ShardJobs)
+		if err != nil {
+			closeAll()
+			return nil, nil, nil, err
+		}
+		stores = append(stores, s)
+	}
+	return plan, stores, closeAll, nil
+}
+
+// shardUnion reads shard k from every store and returns the records
+// sorted by job with duplicates dropped (the same job measured by two
+// workers yields identical records, so which copy survives is
+// irrelevant). Memory stays O(len(dirs) · ShardJobs).
+func shardUnion(plan *campaign.Plan, stores []*campaign.Store, k int) ([]campaign.Record, error) {
+	var all []campaign.Record
+	for _, s := range stores {
+		recs, err := s.ReadShard(k, plan.Jobs())
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, recs...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Job < all[j].Job })
+	out := all[:0]
+	lastJob := -1
+	for i := range all {
+		if all[i].Job == lastJob {
+			continue
+		}
+		lastJob = all[i].Job
+		out = append(out, all[i])
+	}
+	return out, nil
+}
+
+// Summarize folds every store's records into one campaign summary,
+// streaming shard by shard. A single dir is exactly campaign.Summarize.
+func Summarize(dirs []string) (*campaign.Plan, *campaign.Summary, error) {
+	plan, stores, closeAll, err := openStores(dirs)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer closeAll()
+
+	total := campaign.NewSummary(plan)
+	for k := 0; k < plan.Shards(); k++ {
+		recs, err := shardUnion(plan, stores, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		total.Merge(campaign.SummarizeShard(plan, recs))
+	}
+	return plan, total, nil
+}
+
+// Report renders the merged aggregate report over one or many store dirs.
+// The bytes are a pure function of (plan, union of completed jobs) — for
+// stores that together cover the whole plan, byte-identical to the
+// single-process run's report.
+func Report(dirs []string, w io.Writer) error {
+	plan, sum, err := Summarize(dirs)
+	if err != nil {
+		return err
+	}
+	return campaign.RenderReport(w, plan, sum)
+}
+
+// Merge consolidates one or many store dirs into a fresh campaign
+// directory at out: the shared plan, every unique record rewritten in
+// (shard, job) order, and a checkpoint manifest that matches the store.
+// The output is itself a valid campaign dir — reportable, resumable, and
+// deterministic: any collection of stores holding the same record union
+// merges to byte-identical shard files. out must not already contain
+// records (merging into a live store would duplicate lines pointlessly).
+func Merge(dirs []string, out string) error {
+	plan, stores, closeAll, err := openStores(dirs)
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+
+	if ents, err := os.ReadDir(out); err == nil && len(ents) > 0 {
+		// An existing plan.json is fine only if it is the same plan and
+		// the shards directory is empty.
+		if p, err := campaign.LoadPlan(out); err != nil || !plan.Same(p) {
+			return fmt.Errorf("dist: merge target %s is not empty", out)
+		}
+		if shards, err := os.ReadDir(out + "/shards"); err == nil && len(shards) > 0 {
+			return fmt.Errorf("dist: merge target %s already holds records", out)
+		}
+	}
+	if err := plan.Save(out); err != nil {
+		return err
+	}
+	dst, err := campaign.OpenStore(out, plan.ShardJobs)
+	if err != nil {
+		return err
+	}
+	defer dst.Close()
+
+	counts := make([]int, plan.Shards())
+	done := 0
+	for k := 0; k < plan.Shards(); k++ {
+		recs, err := shardUnion(plan, stores, k)
+		if err != nil {
+			return err
+		}
+		for i := range recs {
+			if err := dst.Append(&recs[i]); err != nil {
+				return err
+			}
+		}
+		counts[k] = len(recs)
+		done += len(recs)
+	}
+	return campaign.WriteManifest(out, &campaign.Manifest{
+		Plan: plan.Name, Total: plan.Jobs(), Done: done, PerShard: counts,
+	})
+}

@@ -104,7 +104,8 @@ type Summary struct {
 	Done  int
 }
 
-func newSummary(plan *Plan) *Summary {
+// NewSummary returns an all-empty summary shaped for plan's cells.
+func NewSummary(plan *Plan) *Summary {
 	s := &Summary{Cells: make([]*CellSummary, len(plan.Cells))}
 	for i := range s.Cells {
 		s.Cells[i] = newCellSummary()
@@ -120,14 +121,14 @@ func (s *Summary) Merge(o *Summary) {
 	s.Done += o.Done
 }
 
-// summarizeShard folds one shard's records into a fresh summary. Records
+// SummarizeShard folds one shard's records into a fresh summary. Records
 // are visited in job order with duplicates dropped (a job's record is
 // unique by construction, and deterministic even if written twice), so the
 // fold's result depends only on WHICH jobs are done — never on completion
 // order or interruption history.
-func summarizeShard(plan *Plan, recs []Record) *Summary {
+func SummarizeShard(plan *Plan, recs []Record) *Summary {
 	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Job < recs[j].Job })
-	s := newSummary(plan)
+	s := NewSummary(plan)
 	lastJob := -1
 	for i := range recs {
 		if recs[i].Job == lastJob {
@@ -153,13 +154,13 @@ func Summarize(dir string) (*Plan, *Summary, error) {
 	}
 	defer store.Close()
 
-	total := newSummary(plan)
+	total := NewSummary(plan)
 	for k := 0; k < plan.Shards(); k++ {
-		recs, err := store.readShard(k, plan.Jobs())
+		recs, err := store.ReadShard(k, plan.Jobs())
 		if err != nil {
 			return nil, nil, err
 		}
-		total.Merge(summarizeShard(plan, recs))
+		total.Merge(SummarizeShard(plan, recs))
 	}
 	return plan, total, nil
 }
@@ -172,10 +173,11 @@ func Report(dir string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return renderReport(w, plan, sum)
+	return RenderReport(w, plan, sum)
 }
 
-func renderReport(w io.Writer, plan *Plan, sum *Summary) error {
+// RenderReport renders a summary (single- or merged multi-store) to w.
+func RenderReport(w io.Writer, plan *Plan, sum *Summary) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "campaign %q seed=%d: %d cells x %d sites = %d jobs, %d done\n",
 		plan.Name, plan.Seed, len(plan.Cells), plan.Sites, plan.Jobs(), sum.Done)

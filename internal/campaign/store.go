@@ -3,11 +3,14 @@ package campaign
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
+	"mfc/internal/campaign/dist/lease"
 	"mfc/internal/core"
 )
 
@@ -46,14 +49,84 @@ type Store struct {
 
 	mu    sync.Mutex
 	files map[int]*os.File // open shard appenders
+
+	lock   *lease.Handle // exclusive store lease (OpenStoreLocked only)
+	hbStop chan struct{}
+	hbDone chan struct{}
 }
 
-// OpenStore opens (creating if needed) the result store under dir.
+// OpenStore opens (creating if needed) the result store under dir. This
+// opener takes no lock: it is for readers (report, merge) and for writers
+// whose shard ownership is coordinated externally — dist workers hold a
+// lease per shard instead of locking the whole store.
 func OpenStore(dir string, shardJobs int) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "shards"), 0o755); err != nil {
 		return nil, err
 	}
 	return &Store{dir: dir, shardJobs: shardJobs, files: make(map[int]*os.File)}, nil
+}
+
+// LeasesDir is where a campaign directory keeps its lease files: the
+// exclusive "store" lease and the per-shard "shard-NNNN" leases.
+func LeasesDir(dir string) string { return filepath.Join(dir, "leases") }
+
+// ShardLeaseName is the lease resource name for result shard k.
+func ShardLeaseName(k int) string { return fmt.Sprintf("shard-%04d", k) }
+
+// OpenStoreLocked opens the store for an uncoordinated single-process
+// writer: it acquires the exclusive "store" lease (taking over a stale
+// one, so resume after a kill works) and refuses to proceed while any
+// live shard lease exists — two legacy runs, or a legacy run racing dist
+// workers, fail fast instead of interleaving shard appends. The lease is
+// heartbeated until Close; if it is ever lost (this process wedged past
+// the TTL and someone took over), onLost is called once so the caller can
+// abort instead of split-braining. onLost may be nil.
+func OpenStoreLocked(dir string, shardJobs int, owner string, ttl time.Duration, onLost func()) (*Store, error) {
+	s, err := OpenStore(dir, shardJobs)
+	if err != nil {
+		return nil, err
+	}
+	ld := LeasesDir(dir)
+	lk, err := lease.Acquire(ld, "store", owner, ttl)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %s is in use: %w", dir, err)
+	}
+	live, err := lease.Live(ld, ttl)
+	if err == nil {
+		for _, info := range live {
+			if info.Name != "store" {
+				lk.Release()
+				return nil, fmt.Errorf("campaign: %s has live worker lease %q held by %q; run `mfc-campaign work` instead of run/resume, or wait for the workers",
+					dir, info.Name, info.Owner)
+			}
+		}
+	}
+	s.lock = lk
+	s.hbStop = make(chan struct{})
+	s.hbDone = make(chan struct{})
+	go func() {
+		defer close(s.hbDone)
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.hbStop:
+				return
+			case <-t.C:
+				// Only a provably lost lease aborts the run; a transient
+				// write failure skips a beat and retries. Persistent
+				// failure ends in a takeover, which the next heartbeat's
+				// ownership check reports as ErrLost.
+				if err := lk.Heartbeat(); errors.Is(err, lease.ErrLost) {
+					if onLost != nil {
+						onLost()
+					}
+					return
+				}
+			}
+		}
+	}()
+	return s, nil
 }
 
 // shardPath returns shard k's file path.
@@ -117,8 +190,16 @@ func (s *Store) openShardAppender(k int) (*os.File, error) {
 	return f, nil
 }
 
-// Close closes every open shard appender.
+// Close closes every open shard appender and, for a locked store, stops
+// the heartbeat and releases the exclusive lease.
 func (s *Store) Close() error {
+	if s.hbStop != nil {
+		close(s.hbStop)
+		<-s.hbDone
+		s.hbStop = nil
+		s.lock.Release() // ErrLost just means someone already took over
+		s.lock = nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var first error
@@ -131,9 +212,9 @@ func (s *Store) Close() error {
 	return first
 }
 
-// readShard decodes shard k's records, skipping unparseable (torn) lines
+// ReadShard decodes shard k's records, skipping unparseable (torn) lines
 // and out-of-range job indexes. Order is file order (completion order).
-func (s *Store) readShard(k int, totalJobs int) ([]Record, error) {
+func (s *Store) ReadShard(k int, totalJobs int) ([]Record, error) {
 	f, err := os.Open(s.shardPath(k))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -165,7 +246,7 @@ func (s *Store) Completed(totalJobs int) (map[int]bool, error) {
 	done := make(map[int]bool)
 	shards := (totalJobs + s.shardJobs - 1) / s.shardJobs
 	for k := 0; k < shards; k++ {
-		recs, err := s.readShard(k, totalJobs)
+		recs, err := s.ReadShard(k, totalJobs)
 		if err != nil {
 			return nil, err
 		}
