@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-short bench-check experiments fuzz campaign-smoke campaign-dist-smoke api apicheck ci
+.PHONY: build test race vet fmt-check bench bench-short bench-check experiments fuzz campaign-smoke campaign-dist-smoke chaos-smoke api apicheck ci
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 # DES kernel it drives, the coordinator (event stream + cancellation), and
 # the experiments/campaign layers that fan out on it.
 race:
-	$(GO) test -race ./internal/runner ./internal/netsim ./internal/core ./internal/experiments ./internal/campaign ./internal/campaign/dist ./internal/campaign/dist/lease
+	$(GO) test -race ./internal/runner ./internal/netsim ./internal/core ./internal/scenario ./internal/experiments ./internal/campaign ./internal/campaign/dist ./internal/campaign/dist/lease
 
 # API-surface lock: api.txt is the checked-in `go doc -all` of the public
 # package. `make api` regenerates it after an intentional API change;
@@ -57,6 +57,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzShardTail$$' -fuzztime 10s ./internal/campaign
 	$(GO) test -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime 10s ./internal/campaign
 	$(GO) test -run '^$$' -fuzz '^FuzzLease$$' -fuzztime 10s ./internal/campaign/dist/lease
+	$(GO) test -run '^$$' -fuzz '^FuzzScenarioConfig$$' -fuzztime 10s ./internal/scenario
 
 # Kill + resume determinism check, the same sequence CI runs.
 campaign-smoke:
@@ -71,6 +72,23 @@ campaign-smoke:
 	/tmp/mfc-campaign report -dir /tmp/camp-killed > /tmp/report-killed.txt
 	diff /tmp/report-clean.txt /tmp/report-killed.txt
 	@echo "kill+resume report is byte-identical"
+
+# Chaos smoke, the same sequence CI runs: a scenario-swept campaign (clean
+# vs sustained loss vs mid-measurement link flaps) is killed mid-run —
+# inside the scenario cells, where fault timers are armed — resumed, and
+# its report must be byte-identical to the uninterrupted run's.
+chaos-smoke:
+	$(GO) build -o /tmp/mfc-campaign ./cmd/mfc-campaign
+	rm -rf /tmp/camp-chaos-clean /tmp/camp-chaos-killed
+	/tmp/mfc-campaign plan -dir /tmp/camp-chaos-clean -bands rank-1K-10K -stages base -scenarios clean,lossy,flaky-link -sites 15 -seed 7
+	/tmp/mfc-campaign run -dir /tmp/camp-chaos-clean -quiet
+	/tmp/mfc-campaign report -dir /tmp/camp-chaos-clean > /tmp/report-chaos-clean.txt
+	/tmp/mfc-campaign plan -dir /tmp/camp-chaos-killed -bands rank-1K-10K -stages base -scenarios clean,lossy,flaky-link -sites 15 -seed 7
+	/tmp/mfc-campaign run -dir /tmp/camp-chaos-killed -halt-after 20 -quiet
+	/tmp/mfc-campaign resume -dir /tmp/camp-chaos-killed -quiet
+	/tmp/mfc-campaign report -dir /tmp/camp-chaos-killed > /tmp/report-chaos-killed.txt
+	diff /tmp/report-chaos-clean.txt /tmp/report-chaos-killed.txt
+	@echo "chaos kill+resume report is byte-identical"
 
 # Distributed smoke, the same sequence CI runs: 3 `work` processes share
 # one plan over a shared dir, one is killed -9 as soon as records exist
@@ -95,4 +113,4 @@ campaign-dist-smoke:
 	diff /tmp/camp-dist-base.txt /tmp/camp-dist-shared.txt
 	@echo "multi-worker kill -9 + takeover report is byte-identical"
 
-ci: build vet fmt-check apicheck test race campaign-dist-smoke
+ci: build vet fmt-check apicheck test race chaos-smoke campaign-dist-smoke

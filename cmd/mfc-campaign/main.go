@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mfc-campaign plan   -dir DIR -bands all|b1,b2 -stages base,query,large -sites N [-seed S] [-name NAME]
+//	mfc-campaign plan   -dir DIR -bands all|b1,b2 -stages base,query,large [-scenarios s1,s2] -sites N [-seed S] [-name NAME]
 //	mfc-campaign run    -dir DIR [-workers N] [-halt-after N] [-quiet]
 //	mfc-campaign resume -dir DIR [-workers N] [-quiet]
 //	mfc-campaign work   -dir DIR [-workers N] [-owner ID] [-ttl D] [-poll D] [-halt-after N] [-quiet]
@@ -40,6 +40,7 @@ import (
 	"mfc/internal/campaign/dist"
 	"mfc/internal/core"
 	"mfc/internal/population"
+	"mfc/internal/scenario"
 )
 
 func main() {
@@ -77,7 +78,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  mfc-campaign plan   -dir DIR -bands all|b1,b2,... -stages base,query,large -sites N [-seed S] [-name NAME] [-shard-jobs N]
+  mfc-campaign plan   -dir DIR -bands all|b1,b2,... -stages base,query,large [-scenarios s1,s2,...] -sites N [-seed S] [-name NAME] [-shard-jobs N]
   mfc-campaign run    -dir DIR [-workers N] [-halt-after N] [-quiet]
   mfc-campaign resume -dir DIR [-workers N] [-quiet]
   mfc-campaign work   -dir DIR [-workers N] [-owner ID] [-ttl D] [-poll D] [-halt-after N] [-quiet]
@@ -90,8 +91,11 @@ shards, take over shards of crashed peers, and checkpoint independently.
 report over several -dir flags merges stores of one plan; merge writes
 the consolidated store to -out.
 
-bands:  all, `+strings.Join(bandNames(), ", ")+`
-stages: base, query, large`)
+bands:     all, `+strings.Join(bandNames(), ", ")+`
+stages:    base, query, large
+scenarios: `+strings.Join(scenario.Names(), ", ")+`
+  (-scenarios sweeps every band x stage cell across the named
+   scenario/chaos environments; omit for clean-only campaigns)`)
 }
 
 // dirList collects repeated -dir flags.
@@ -117,13 +121,14 @@ func bandNames() []string {
 func cmdPlan(args []string) error {
 	fs := flag.NewFlagSet("plan", flag.ExitOnError)
 	var (
-		dir    = fs.String("dir", "", "campaign directory (created)")
-		bands  = fs.String("bands", "all", "comma-separated band names, or 'all'")
-		stages = fs.String("stages", "base", "comma-separated stages: base, query, large")
-		sites  = fs.Int("sites", 100, "sites per band x stage cell")
-		seed   = fs.Int64("seed", 1, "campaign seed (with band and site index, determines every job)")
-		name   = fs.String("name", "", "campaign name (default: derived from the matrix)")
-		shard  = fs.Int("shard-jobs", 0, "jobs per result shard (default 512); the shard is also the unit distributed workers claim")
+		dir       = fs.String("dir", "", "campaign directory (created)")
+		bands     = fs.String("bands", "all", "comma-separated band names, or 'all'")
+		stages    = fs.String("stages", "base", "comma-separated stages: base, query, large")
+		scenarios = fs.String("scenarios", "", "comma-separated scenario names sweeping every cell ('' = clean only; 'clean' names the explicit clean cell)")
+		sites     = fs.Int("sites", 100, "sites per band x stage x scenario cell")
+		seed      = fs.Int64("seed", 1, "campaign seed (with band and site index, determines every job)")
+		name      = fs.String("name", "", "campaign name (default: derived from the matrix)")
+		shard     = fs.Int("shard-jobs", 0, "jobs per result shard (default 512); the shard is also the unit distributed workers claim")
 	)
 	fs.Parse(args)
 	if *dir == "" {
@@ -138,10 +143,14 @@ func cmdPlan(args []string) error {
 	if err != nil {
 		return err
 	}
+	scl, err := parseScenarios(*scenarios)
+	if err != nil {
+		return err
+	}
 	if *name == "" {
 		*name = fmt.Sprintf("%dband-%dstage-%dsites", len(bl), len(sl), *sites)
 	}
-	plan, err := campaign.NewPlan(*name, bl, sl, *sites, *seed)
+	plan, err := campaign.NewPlan(*name, bl, sl, scl, *sites, *seed)
 	if err != nil {
 		return err
 	}
@@ -167,6 +176,26 @@ func parseBands(s string) ([]population.Band, error) {
 			return nil, err
 		}
 		out = append(out, b)
+	}
+	return out, nil
+}
+
+// parseScenarios resolves the -scenarios sweep list against the scenario
+// registry at plan time (satellite of the plan-validation fix: a typo'd
+// name fails here, with the known names, never mid-campaign).
+func parseScenarios(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name != "" {
+			if _, err := scenario.Parse(name); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, name)
 	}
 	return out, nil
 }

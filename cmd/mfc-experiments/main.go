@@ -237,7 +237,7 @@ func runScaled(sites int, seed int64, dir string) error {
 	}
 	plan, err := campaign.NewPlan(
 		fmt.Sprintf("s5-scaled-%dsites", sites),
-		population.Bands, []core.Stage{core.StageBase}, sites, seed)
+		population.Bands, []core.Stage{core.StageBase}, nil, sites, seed)
 	if err != nil {
 		return err
 	}

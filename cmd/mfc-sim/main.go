@@ -6,8 +6,11 @@
 // Usage:
 //
 //	mfc-sim -preset qtnp [-threshold 100ms] [-max 55] [-mr 1] [-seed 1]
+//	mfc-sim -preset qtnp -scenario lossy      # wrap the run in a named scenario
+//	mfc-sim -preset qtnp -scenario '{"loss":0.02}'
 //	mfc-sim -preset custom -cores 2 -parse 5ms -dbconns 4 -bandwidth 12.5e6
 //	mfc-sim -list
+//	mfc-sim -list-scenarios
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"mfc"
@@ -32,8 +36,10 @@ func main() {
 		clients   = flag.Int("clients", 65, "simulated PlanetLab clients")
 		seed      = flag.Int64("seed", 1, "random seed (same seed = same run)")
 		bgRate    = flag.Float64("bg", 0, "background traffic rate (requests/sec)")
+		scen      = flag.String("scenario", "", "scenario wrapping the run: a name (see -list-scenarios) or inline JSON")
 		verbose   = flag.Bool("v", false, "log coordinator progress")
 		list      = flag.Bool("list", false, "list presets and exit")
+		listScen  = flag.Bool("list-scenarios", false, "list scenario presets and exit")
 
 		// custom preset knobs
 		cores     = flag.Float64("cores", 2, "custom: CPU cores")
@@ -54,6 +60,22 @@ func main() {
 		fmt.Println("lab-mongrel §3.2 lab box, Mongrel backend")
 		fmt.Println("custom      build from the -cores/-parse/-dbconns/... flags")
 		return
+	}
+	if *listScen {
+		for _, name := range mfc.ScenarioNames() {
+			sc, _ := mfc.ParseScenario(name)
+			fmt.Printf("%-15s %s\n", name, strings.Join(sc.Effects(), " "))
+		}
+		return
+	}
+
+	var scenario *mfc.Scenario
+	if *scen != "" {
+		var err error
+		if scenario, err = mfc.ParseScenario(*scen); err != nil {
+			fmt.Fprintf(os.Stderr, "mfc-sim: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	var srv mfc.ServerConfig
@@ -110,6 +132,7 @@ func main() {
 		Clients:    *clients,
 		Seed:       *seed,
 		Background: mfc.BackgroundConfig{Rate: *bgRate},
+		Scenario:   scenario,
 	}, cfg, opts...)
 	if err != nil {
 		log.Fatalf("mfc-sim: %v", err)

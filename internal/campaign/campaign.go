@@ -13,6 +13,7 @@ import (
 	"mfc/internal/core"
 	"mfc/internal/population"
 	"mfc/internal/runner"
+	"mfc/internal/scenario"
 )
 
 // Options tunes one Run invocation (never the campaign's results — those
@@ -58,11 +59,12 @@ type StartInfo struct {
 // SiteEvent is one coordinator event tagged with the campaign job that
 // produced it.
 type SiteEvent struct {
-	Job   int
-	Band  string
-	Stage string
-	Site  string
-	Event core.Event
+	Job      int
+	Band     string
+	Stage    string
+	Scenario string // "" for clean cells
+	Site     string
+	Event    core.Event
 }
 
 // Terminal reports whether this is the job's terminal ExperimentFinished
@@ -268,7 +270,7 @@ func Measure(plan *Plan, j int, onEvent func(SiteEvent)) *Record {
 	stage, _ := ParseStage(cell.Stage)         // validated at load
 	sample := population.SampleAt(band, plan.SiteOf(j), plan.Seed)
 
-	rec := &Record{Job: j, Site: sample.Name, Band: cell.Band, Stage: cell.Stage}
+	rec := &Record{Job: j, Site: sample.Name, Band: cell.Band, Stage: cell.Stage, Scenario: cell.Scenario}
 	// finished needs no lock: mfc.Run delivers every event before it
 	// returns (the simulated coordinator joins at calendar exhaustion), so
 	// all writes happen-before the read below. A Target whose execute did
@@ -281,17 +283,17 @@ func Measure(plan *Plan, j int, onEvent func(SiteEvent)) *Record {
 			if _, ok := ev.(core.ExperimentFinished); ok {
 				finished = true
 			}
-			onEvent(SiteEvent{Job: j, Band: cell.Band, Stage: cell.Stage, Site: sample.Name, Event: ev})
+			onEvent(SiteEvent{Job: j, Band: cell.Band, Stage: cell.Stage, Scenario: cell.Scenario, Site: sample.Name, Event: ev})
 		}
 	}
-	sr, err := measureSample(plan, stage, sample, obs)
+	sr, err := measureSample(plan, stage, cell.Scenario, sample, obs)
 	if err != nil {
 		rec.Verdict = "Error"
 		rec.Err = err.Error()
 		if onEvent != nil && !finished {
 			// The run died before its terminal event (crawl error, panic):
 			// synthesize it so every job delivers exactly one.
-			onEvent(SiteEvent{Job: j, Band: cell.Band, Stage: cell.Stage, Site: sample.Name,
+			onEvent(SiteEvent{Job: j, Band: cell.Band, Stage: cell.Stage, Scenario: cell.Scenario, Site: sample.Name,
 				Event: core.ExperimentFinished{Target: sample.Name, Err: err.Error()}})
 		}
 		return rec
@@ -312,7 +314,7 @@ func Measure(plan *Plan, j int, onEvent func(SiteEvent)) *Record {
 // flat. Jobs always run to completion (context.Background()): a canceled
 // campaign stops claiming new jobs rather than storing aborted partials,
 // which would poison resume determinism.
-func measureSample(plan *Plan, stage core.Stage, sample population.SiteSample, obs core.Observer) (res *core.StageResult, err error) {
+func measureSample(plan *Plan, stage core.Stage, scenarioName string, sample population.SiteSample, obs core.Observer) (res *core.StageResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("campaign: measuring %s: panic: %v", sample.Name, r)
@@ -324,9 +326,21 @@ func measureSample(plan *Plan, stage core.Stage, sample population.SiteSample, o
 	cfg.MaxCrowd = plan.MaxCrowd
 	cfg.MinClients = plan.MinClients
 
+	// Re-parse the scenario per job (validated at load): Parse returns a
+	// fresh Config, so every job stays a pure function of (plan, j) and no
+	// shared mutable scenario state can leak between pool workers.
+	var scen *mfc.Scenario
+	if scenarioName != "" {
+		scen, err = scenario.Parse(scenarioName)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	run, err := mfc.Run(context.Background(), mfc.SimTarget{
 		Server: sample.Config, Site: sample.Site, Clients: plan.Clients,
-		Seed: sample.MeasureSeed, NoAccessLog: true, MonitorPeriod: -1,
+		Scenario: scen,
+		Seed:     sample.MeasureSeed, NoAccessLog: true, MonitorPeriod: -1,
 	}, cfg, mfc.WithStage(stage), mfc.WithObserver(obs))
 	if err != nil {
 		return nil, err

@@ -21,7 +21,7 @@ func testPlan(t *testing.T, dir string) *Plan {
 	t.Helper()
 	plan, err := NewPlan("test-campaign",
 		[]population.Band{population.Rank1M, population.Phishing},
-		[]core.Stage{core.StageBase}, 6, 99)
+		[]core.Stage{core.StageBase}, nil, 6, 99)
 	if err != nil {
 		t.Fatal(err)
 	}

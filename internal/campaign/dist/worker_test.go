@@ -25,7 +25,7 @@ func distPlan(t *testing.T, dir string) *campaign.Plan {
 	t.Helper()
 	plan, err := campaign.NewPlan("dist-test",
 		[]population.Band{population.Rank1M, population.Phishing},
-		[]core.Stage{core.StageBase}, 6, 99)
+		[]core.Stage{core.StageBase}, nil, 6, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func killPlan(t *testing.T, dir string) *campaign.Plan {
 	t.Helper()
 	plan, err := campaign.NewPlan("dist-kill",
 		[]population.Band{population.Rank1M},
-		[]core.Stage{core.StageBase}, 120, 7)
+		[]core.Stage{core.StageBase}, nil, 120, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +342,7 @@ func TestMergeAcrossStoresByteIdentical(t *testing.T) {
 	dirC := t.TempDir()
 	planC, err := campaign.NewPlan("dist-test-other",
 		[]population.Band{population.Rank1M, population.Phishing},
-		[]core.Stage{core.StageBase}, 6, 100)
+		[]core.Stage{core.StageBase}, nil, 6, 100)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -189,7 +189,7 @@ func RenderReport(w io.Writer, plan *Plan, sum *Summary) error {
 
 	for ci, cell := range plan.Cells {
 		c := sum.Cells[ci]
-		fmt.Fprintf(&b, "cell %s/%s: n=%d measured=%d\n", cell.Band, cell.Stage, c.N, c.Measured())
+		fmt.Fprintf(&b, "cell %s: n=%d measured=%d\n", cell.Label(), c.N, c.Measured())
 		if c.N == 0 {
 			continue
 		}

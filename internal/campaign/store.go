@@ -18,10 +18,11 @@ import (
 // compact fields are what the aggregate report consumes; Result carries
 // the full per-epoch data for offline analysis.
 type Record struct {
-	Job   int    `json:"job"`
-	Site  string `json:"site"`
-	Band  string `json:"band"`
-	Stage string `json:"stage"`
+	Job      int    `json:"job"`
+	Site     string `json:"site"`
+	Band     string `json:"band"`
+	Stage    string `json:"stage"`
+	Scenario string `json:"scenario,omitempty"` // "" for clean cells
 
 	Verdict      string `json:"verdict"`
 	Stop         int    `json:"stop,omitempty"`         // confirmed stopping crowd (0 = none)

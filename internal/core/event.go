@@ -11,7 +11,8 @@ import "time"
 
 // Event is one item of the coordinator's progress stream. The concrete
 // types are StageStarted, EpochCompleted, MeasurersReserved,
-// CheckPhaseEntered and ExperimentFinished.
+// CheckPhaseEntered, ScenarioApplied, FaultInjected and
+// ExperimentFinished.
 type Event interface{ event() }
 
 // Observer receives coordinator events. It is called synchronously from
@@ -66,6 +67,34 @@ type CheckPhaseEntered struct {
 	Crowd int
 }
 
+// ScenarioApplied announces, before the first stage, that the experiment's
+// environment was wrapped by a scenario: the named effects are active for
+// the whole run (scheduled faults are reported separately as they fire).
+type ScenarioApplied struct {
+	// Name is the scenario's registered or configured name.
+	Name string
+	// Effects lists the active effect kinds in canonical order (e.g.
+	// "loss", "rate-limit", "flap@30s").
+	Effects []string
+}
+
+// FaultInjected reports a chaos-controller trigger firing mid-experiment:
+// at simulated time At, the fault Kind took effect (and, for transient
+// faults, will be restored after Duration).
+type FaultInjected struct {
+	// Scenario is the owning scenario's name.
+	Scenario string
+	// Kind is the fault kind ("flap", "capacity-step", "loss-burst", ...).
+	Kind string
+	// At is the simulated time the trigger fired.
+	At time.Duration
+	// Duration is how long the fault holds before restoration; 0 means the
+	// fault is permanent for the rest of the run.
+	Duration time.Duration
+	// Restored marks the paired recovery event of a transient fault.
+	Restored bool
+}
+
 // ExperimentFinished is the terminal event, emitted exactly once per
 // experiment (RunExperiment or RunSingleStage), whatever the outcome.
 type ExperimentFinished struct {
@@ -80,6 +109,8 @@ type ExperimentFinished struct {
 }
 
 func (StageStarted) event()       {}
+func (ScenarioApplied) event()    {}
+func (FaultInjected) event()      {}
 func (EpochCompleted) event()     {}
 func (MeasurersReserved) event()  {}
 func (CheckPhaseEntered) event()  {}

@@ -144,7 +144,12 @@ func (r *StageResult) CurveMedians() (crowds []int, medians []time.Duration) {
 // Result is a full MFC experiment outcome across stages.
 type Result struct {
 	Target string
-	Stages []*StageResult
+	// Scenario names the scenario wrapping the run's environment ("" for a
+	// clean run). It is metadata only: it records the conditions the
+	// verdicts were measured under, and is omitted from JSON when empty so
+	// clean-run encodings are unchanged.
+	Scenario string `json:"Scenario,omitempty"`
+	Stages   []*StageResult
 }
 
 // Stage returns the result for s, or nil if the stage did not run.

@@ -253,6 +253,14 @@ func (e *Env) After(d time.Duration, fn func()) Timer {
 	return Timer{en: en, seq: en.seq}
 }
 
+// At schedules fn to run in driver context at the absolute virtual time
+// `at` (clamped to now if already past) — the trigger primitive the
+// scenario/chaos layer uses to fire faults at fixed points of simulated
+// time. Like After, the callback must not block.
+func (e *Env) At(at time.Duration, fn func()) Timer {
+	return e.After(at-e.now, fn)
+}
+
 // Proc is a simulated process. Its methods may only be called from within
 // the process's own function.
 //

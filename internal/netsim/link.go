@@ -28,13 +28,22 @@ import (
 type Link struct {
 	env        *Env
 	name       string
-	capacity   float64 // bytes per second
+	capacity   float64 // bytes per second (configured; see effectiveCapacity)
 	flows      []*Flow // insertion order; iteration must stay deterministic
 	scratch    []*Flow // reusable sort buffer for reallocate
 	dirty      bool    // registered on env.dirty for the end-of-instant flush
 	lastUpd    time.Duration
 	next       Timer
 	completeFn func() // l.complete, bound once to avoid a per-reallocate closure
+
+	// Fault state (scenario/chaos hooks). The zero values are the clean
+	// path: factor 1 semantics, no loss, link up. reallocate multiplies
+	// them into the deliverable capacity only when set, so a run that
+	// never touches the hooks performs bit-identical float math to one
+	// built before they existed.
+	capFactor float64 // capacity multiplier; 0 means unset (treat as 1)
+	lossRate  float64 // sustained loss fraction in [0,1): goodput scales by (1-loss)
+	down      bool    // link flap: all flows stall at rate 0
 
 	// metrics
 	bytesSent  float64
@@ -82,6 +91,83 @@ func (l *Link) Name() string { return l.name }
 
 // Capacity returns the configured capacity in bytes per second.
 func (l *Link) Capacity() float64 { return l.capacity }
+
+// effectiveCapacity is the capacity the waterfill distributes right now:
+// the configured capacity scaled by the chaos hooks. Loss models TCP
+// goodput under sustained random loss at the fluid level (deliverable
+// bytes scale by 1-p); a capacity step is an operator- or path-induced
+// bandwidth change; down is a flap (everything stalls). The multiplies
+// only happen when a hook is active, so untouched links keep their exact
+// pre-hook float behavior.
+func (l *Link) effectiveCapacity() float64 {
+	if l.down {
+		return 0
+	}
+	c := l.capacity
+	if l.capFactor > 0 && l.capFactor != 1 {
+		c *= l.capFactor
+	}
+	if l.lossRate > 0 {
+		c *= 1 - l.lossRate
+	}
+	return c
+}
+
+// SetCapacityFactor scales the link's deliverable capacity by f (a chaos
+// capacity step: 0.5 halves it, 2 doubles it). f <= 0 resets to 1. Active
+// flows re-waterfill at the current instant; in-flight byte accounting is
+// unaffected.
+func (l *Link) SetCapacityFactor(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	l.advance()
+	l.capFactor = f
+	l.changed()
+}
+
+// CapacityFactor returns the current capacity multiplier (1 when unset).
+func (l *Link) CapacityFactor() float64 {
+	if l.capFactor <= 0 {
+		return 1
+	}
+	return l.capFactor
+}
+
+// SetLoss sets the sustained packet-loss fraction on the link. At the
+// fluid-flow level loss appears as goodput degradation: deliverable
+// capacity scales by (1-p). p is clamped to [0, 0.99]; 0 restores the
+// clean path.
+func (l *Link) SetLoss(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 0.99 {
+		p = 0.99
+	}
+	l.advance()
+	l.lossRate = p
+	l.changed()
+}
+
+// Loss returns the current sustained loss fraction.
+func (l *Link) Loss() float64 { return l.lossRate }
+
+// SetDown flaps the link: while down, every flow's rate is zero and
+// transfers stall (their deadlines keep running, so requests time out the
+// way they would on a real dead path). SetDown(false) brings it back and
+// re-waterfills the survivors.
+func (l *Link) SetDown(down bool) {
+	if l.down == down {
+		return
+	}
+	l.advance()
+	l.down = down
+	l.changed()
+}
+
+// Down reports whether the link is currently flapped down.
+func (l *Link) Down() bool { return l.down }
 
 // Active returns the number of in-flight flows.
 func (l *Link) Active() int { return len(l.flows) }
@@ -244,7 +330,7 @@ func (l *Link) reallocate() {
 			return 0
 		}
 	})
-	remainingCap := l.capacity
+	remainingCap := l.effectiveCapacity()
 	n := len(flows)
 	for i, fl := range flows {
 		share := remainingCap / float64(n-i)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"time"
 
 	"mfc/internal/content"
@@ -38,14 +39,18 @@ const (
 // Bands lists every studied population, in presentation order.
 var Bands = []Band{Rank1K, Rank10K, Rank100K, Rank1M, Startup, Phishing}
 
-// ParseBand maps a Band.String() name back to the band.
+// ParseBand maps a Band.String() name back to the band. Unknown names
+// fail with the list of known ones, so plan-time validation errors are
+// actionable.
 func ParseBand(s string) (Band, error) {
-	for _, b := range Bands {
+	known := make([]string, len(Bands))
+	for i, b := range Bands {
 		if b.String() == s {
 			return b, nil
 		}
+		known[i] = b.String()
 	}
-	return 0, fmt.Errorf("population: unknown band %q", s)
+	return 0, fmt.Errorf("population: unknown band %q (known: %s)", s, strings.Join(known, ", "))
 }
 
 func (b Band) String() string {

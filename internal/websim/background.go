@@ -127,6 +127,20 @@ func (bt *BackgroundTraffic) staticURLs() []string {
 // Stop ends the arrival process after the next arrival tick.
 func (bt *BackgroundTraffic) Stop() { bt.stopped = true }
 
+// SetRate changes the Poisson arrival rate mid-run (diurnal modulation).
+// The generator reads the rate per arrival, so the change takes effect at
+// the next inter-arrival draw. A non-positive rate is ignored — use Stop
+// to end the workload; a generator started with Rate 0 was never launched
+// and stays inert regardless.
+func (bt *BackgroundTraffic) SetRate(r float64) {
+	if r > 0 {
+		bt.cfg.Rate = r
+	}
+}
+
+// Rate returns the current Poisson arrival rate.
+func (bt *BackgroundTraffic) Rate() float64 { return bt.cfg.Rate }
+
 // Sent, Completed, Errored return workload counters.
 func (bt *BackgroundTraffic) Sent() uint64      { return bt.sent }
 func (bt *BackgroundTraffic) Completed() uint64 { return bt.completed }

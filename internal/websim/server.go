@@ -137,6 +137,39 @@ type Config struct {
 	// HeaderBytes is the HTTP response header size (default 300).
 	HeaderBytes int64
 
+	// LimitRate enables a server-side token-bucket rate limiter (WAF /
+	// reverse-proxy throttling tier) admitting this many requests per
+	// second across the whole installation; 0 disables it. LimitBurst is
+	// the bucket depth (default: LimitRate, min 1). LimitReject selects
+	// the over-limit behavior: false (default) delays the request until a
+	// token frees (tarpit-style shaping — the degradation is visible in
+	// response times), true refuses it immediately with 429 (fail-fast
+	// WAFs — the request returns quickly, which hides the throttling from
+	// purely latency-based detection; see EXPERIMENTS.md).
+	LimitRate   float64
+	LimitBurst  int
+	LimitReject bool
+
+	// EdgeHitRatio enables a CDN/cache front tier: this fraction of
+	// cacheable (static, non-base) GET requests is served entirely at the
+	// edge, never reaching the origin's workers, CPU, disk or access
+	// link. EdgeBandwidth is the per-response edge transfer rate (default
+	// 125 MB/s). The draw uses the simulation's deterministic RNG; 0
+	// disables the tier (and draws nothing).
+	EdgeHitRatio  float64
+	EdgeBandwidth float64
+
+	// PathLoss is the sustained packet-loss fraction on the server's
+	// network path. Beyond the fluid goodput scaling (applied to the
+	// access link by the scenario layer), loss shows up per request as
+	// retransmission stalls: each response of n packets suffers one
+	// LossRTO stall with probability 1-(1-PathLoss)^min(n,64) (at least
+	// one loss event within the first window-limited rounds). LossRTO
+	// defaults to 300ms, a conservative RTO with timer slack. 0 disables
+	// (and draws nothing from the RNG).
+	PathLoss float64
+	LossRTO  time.Duration
+
 	// Synthetic, when non-nil, replaces the entire resource pipeline with a
 	// synthetic response-time model (used by the §3.1 validation server).
 	Synthetic SyntheticModel
@@ -213,14 +246,27 @@ func (c Config) withDefaults() Config {
 	if c.SyntheticSettle <= 0 {
 		c.SyntheticSettle = 50 * time.Millisecond
 	}
+	if c.LimitRate > 0 && c.LimitBurst <= 0 {
+		c.LimitBurst = int(c.LimitRate)
+		if c.LimitBurst < 1 {
+			c.LimitBurst = 1
+		}
+	}
+	if c.EdgeHitRatio > 0 && c.EdgeBandwidth <= 0 {
+		c.EdgeBandwidth = 125e6
+	}
+	if c.PathLoss > 0 && c.LossRTO <= 0 {
+		c.LossRTO = 300 * time.Millisecond
+	}
 	return c
 }
 
 // Request errors surfaced to clients.
 var (
-	ErrRefused  = errors.New("websim: connection refused (backlog full)")
-	ErrNotFound = errors.New("websim: object not found")
-	ErrTimeout  = errors.New("websim: request deadline exceeded")
+	ErrRefused     = errors.New("websim: connection refused (backlog full)")
+	ErrNotFound    = errors.New("websim: object not found")
+	ErrTimeout     = errors.New("websim: request deadline exceeded")
+	ErrRateLimited = errors.New("websim: request rejected by rate limiter")
 )
 
 // Request is one HTTP request as seen at the server.
@@ -267,12 +313,25 @@ type Server struct {
 
 	pending int // concurrent accepted requests (drives SyntheticModel)
 
+	// limVT is the rate limiter's virtual admission clock: the instant at
+	// which the next token is spoken for. Arrivals admit at
+	// max(now, limVT - burst/rate) and push limVT forward by 1/rate — a
+	// deterministic leaky-bucket with burst depth LimitBurst, no RNG.
+	limVT time.Duration
+
+	// pathLoss/lossRTO mirror cfg.PathLoss/cfg.LossRTO but are mutable
+	// mid-run (chaos loss bursts).
+	pathLoss float64
+	lossRTO  time.Duration
+
 	// counters
-	served   uint64
-	refused  uint64
-	timedOut uint64
-	arrivals []Arrival
-	logging  bool
+	served      uint64
+	refused     uint64
+	timedOut    uint64
+	rateLimited uint64
+	edgeHits    uint64
+	arrivals    []Arrival
+	logging     bool
 }
 
 // Arrival is one request-arrival log record (server access log, used by the
@@ -300,6 +359,8 @@ func NewServer(env *netsim.Env, cfg Config, site *content.Site) *Server {
 		fileCache:  newLRU(cfg.FileCacheBytes * int64(cfg.Replicas)),
 		queryCache: newLRU(cfg.QueryCacheBytes * int64(cfg.Replicas)),
 		resident:   cfg.BaseMemBytes,
+		pathLoss:   cfg.PathLoss,
+		lossRTO:    cfg.LossRTO,
 	}
 	s.peakResident = s.resident
 	return s
@@ -321,6 +382,33 @@ func (s *Server) AccessLog() []Arrival { return s.arrivals }
 func (s *Server) Served() uint64   { return s.served }
 func (s *Server) Refused() uint64  { return s.refused }
 func (s *Server) TimedOut() uint64 { return s.timedOut }
+
+// RateLimited returns the count of requests the token-bucket tier
+// rejected (LimitReject mode only; delayed requests are not counted).
+func (s *Server) RateLimited() uint64 { return s.rateLimited }
+
+// EdgeHits returns the count of requests served entirely by the CDN/cache
+// front tier.
+func (s *Server) EdgeHits() uint64 { return s.edgeHits }
+
+// SetPathLoss changes the per-request retransmission-stall loss fraction
+// mid-run (chaos loss bursts). It does not touch the access link's fluid
+// goodput — the scenario layer pairs the two.
+func (s *Server) SetPathLoss(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 0.99 {
+		p = 0.99
+	}
+	s.pathLoss = p
+	if p > 0 && s.lossRTO <= 0 {
+		s.lossRTO = 300 * time.Millisecond
+	}
+}
+
+// PathLoss returns the current per-request loss fraction.
+func (s *Server) PathLoss() float64 { return s.pathLoss }
 
 // PeakResident returns the peak resident memory observed (bytes).
 func (s *Server) PeakResident() int64 { return s.peakResident }
@@ -388,6 +476,53 @@ func (s *Server) Serve(p *netsim.Proc, tag string, req Request) Response {
 	if !ok {
 		// 404s still cost parse CPU, but we keep them cheap and exact.
 		return Response{Status: 404, Err: ErrNotFound, ServerTime: s.env.Now() - start}
+	}
+
+	// CDN/cache front tier: a hit is served entirely at the edge — the
+	// origin's workers, CPU, disk, limiter and access link never see the
+	// request. The base page stays origin-served (personalized HTML), so a
+	// fronted site's Base stage still measures the origin while its Large
+	// Object stage is masked by the cache.
+	if s.cfg.EdgeHitRatio > 0 && !obj.Dynamic && req.URL != s.site.Base &&
+		s.env.Rand().Float64() < s.cfg.EdgeHitRatio {
+		s.edgeHits++
+		body := obj.Size
+		if req.Method == "HEAD" {
+			body = 0
+		}
+		bw := s.cfg.EdgeBandwidth
+		if req.ClientBW > 0 && req.ClientBW < bw {
+			bw = req.ClientBW
+		}
+		p.Sleep(time.Duration(float64(body+s.cfg.HeaderBytes) / bw * float64(time.Second)))
+		s.served++
+		return Response{Status: 200, Bytes: body, ServerTime: s.env.Now() - start}
+	}
+
+	// WAF / reverse-proxy rate limiter: a deterministic leaky bucket in
+	// front of the worker pool. Over-limit requests are either shaped
+	// (held until their token instant) or refused with 429.
+	if s.cfg.LimitRate > 0 {
+		gap := time.Duration(float64(time.Second) / s.cfg.LimitRate)
+		now := s.env.Now()
+		if floor := now - time.Duration(s.cfg.LimitBurst-1)*gap; s.limVT < floor {
+			s.limVT = floor
+		}
+		admitAt := s.limVT
+		s.limVT += gap
+		if admitAt > now {
+			if s.cfg.LimitReject {
+				s.limVT = admitAt // the refused request's token goes back
+				s.rateLimited++
+				return Response{Status: 429, Err: ErrRateLimited, ServerTime: s.env.Now() - start}
+			}
+			rem, ok := s.remaining(req.Deadline)
+			if !ok || admitAt-now > rem {
+				s.timedOut++
+				return Response{Err: ErrTimeout, ServerTime: s.env.Now() - start}
+			}
+			p.Sleep(admitAt - now)
+		}
 	}
 
 	// Admission: worker slot or bounded backlog.
@@ -567,6 +702,20 @@ func (s *Server) transmit(p *netsim.Proc, bytes int64, req Request) error {
 	}
 	if penalty := slowStartPenalty(bytes, req.ClientRTT); penalty > 0 {
 		p.Sleep(penalty)
+	}
+	if s.pathLoss > 0 {
+		// Retransmission stall: a response of n packets suffers one RTO
+		// with probability 1-(1-p)^min(n,64) — at least one drop within the
+		// window-limited early rounds. Larger responses are likelier to
+		// stall, which is why sustained loss hurts the Large Object stage
+		// first. No draw happens when pathLoss is 0 (determinism guard).
+		pkts := float64((bytes + 1459) / 1460)
+		if pkts > 64 {
+			pkts = 64
+		}
+		if s.env.Rand().Float64() < 1-math.Pow(1-s.pathLoss, pkts) {
+			p.Sleep(s.lossRTO)
+		}
 	}
 	rem, ok := s.remaining(req.Deadline)
 	if !ok {

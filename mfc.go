@@ -3,6 +3,7 @@ package mfc
 import (
 	"mfc/internal/content"
 	"mfc/internal/core"
+	"mfc/internal/scenario"
 	"mfc/internal/websim"
 )
 
@@ -61,6 +62,12 @@ type (
 	MeasurersReserved = core.MeasurersReserved
 	// CheckPhaseEntered announces the N-1/N/N+1 confirmation epochs.
 	CheckPhaseEntered = core.CheckPhaseEntered
+	// ScenarioApplied announces the scenario wrapping the run, before any
+	// stage.
+	ScenarioApplied = core.ScenarioApplied
+	// FaultInjected reports a chaos trigger firing (or restoring)
+	// mid-experiment.
+	FaultInjected = core.FaultInjected
 	// ExperimentFinished is the terminal event, exactly once per run.
 	ExperimentFinished = core.ExperimentFinished
 )
@@ -143,6 +150,42 @@ func GenerateSite(host string, seed int64, cfg SiteGenConfig) *Site {
 func NewSite(host, base string, objects []Object) (*Site, error) {
 	return content.NewSite(host, base, objects)
 }
+
+// Scenario & chaos layer: composable environment effects around a
+// simulated run (see internal/scenario and DESIGN.md "Scenarios & chaos").
+type (
+	// Scenario declares the environment effects wrapping a SimTarget run.
+	Scenario = scenario.Config
+	// ScenarioRTTBand is one weighted client RTT band.
+	ScenarioRTTBand = scenario.RTTBand
+	// ScenarioRateLimit is the WAF-style token-bucket tier.
+	ScenarioRateLimit = scenario.RateLimit
+	// ScenarioFrontCache is the CDN/cache front tier.
+	ScenarioFrontCache = scenario.FrontCache
+	// ScenarioDiurnal modulates background load sinusoidally.
+	ScenarioDiurnal = scenario.Diurnal
+	// ScenarioCrossTraffic is a flash-crowd surge during the experiment.
+	ScenarioCrossTraffic = scenario.CrossTraffic
+	// ScenarioFault is one scheduled chaos trigger.
+	ScenarioFault = scenario.Fault
+)
+
+// Chaos fault kinds.
+const (
+	FaultFlap         = scenario.FaultFlap
+	FaultCapacityStep = scenario.FaultCapacityStep
+	FaultLossBurst    = scenario.FaultLossBurst
+)
+
+// ParseScenario resolves a scenario reference — a registered name (see
+// ScenarioNames) or an inline JSON object — and validates it.
+func ParseScenario(s string) (*Scenario, error) { return scenario.Parse(s) }
+
+// DecodeScenario parses and validates a JSON scenario configuration.
+func DecodeScenario(data []byte) (*Scenario, error) { return scenario.Decode(data) }
+
+// ScenarioNames lists the registered scenario presets, sorted.
+func ScenarioNames() []string { return scenario.Names() }
 
 // Server-model types for simulated targets.
 type (

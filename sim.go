@@ -8,6 +8,7 @@ import (
 	"mfc/internal/content"
 	"mfc/internal/core"
 	"mfc/internal/netsim"
+	"mfc/internal/scenario"
 	"mfc/internal/websim"
 )
 
@@ -39,6 +40,13 @@ type SimTarget struct {
 	// entities, e.g. a shared middle bottleneck link (§2.2.3's confound).
 	// Takes precedence over Clients/LAN; ignored when ClientSpecs is set.
 	Specs func(env *netsim.Env) []SimClientSpec
+	// Scenario wraps the run's environment with scenario/chaos effects
+	// (loss, rate limiting, CDN tiers, RTT bands, scheduled faults...).
+	// nil is the clean environment; a scenario-wrapped run is still a pure
+	// function of (SimTarget, Config) — the scenario only redirects which
+	// deterministic run happens. When the scenario declares RTT bands they
+	// generate the client population (unless ClientSpecs/Specs override).
+	Scenario *Scenario
 	// Seed drives every random choice (default 1). The same SimTarget and
 	// Config always produce the same Result.
 	Seed int64
@@ -71,8 +79,13 @@ func (t SimTarget) open(_ context.Context, cfg Config, ro *runOptions) (*binding
 	if seed == 0 {
 		seed = 1
 	}
+	scen := t.Scenario
+	if err := scen.Validate(); err != nil {
+		return nil, fmt.Errorf("mfc: SimTarget.Scenario: %w", err)
+	}
+	serverCfg := scen.WrapServer(t.Server)
 	env := netsim.NewEnv(seed)
-	server := websim.NewServer(env, t.Server, t.Site)
+	server := websim.NewServer(env, serverCfg, t.Site)
 	if !t.NoAccessLog {
 		server.EnableAccessLog()
 	}
@@ -86,7 +99,9 @@ func (t SimTarget) open(_ context.Context, cfg Config, ro *runOptions) (*binding
 		if n <= 0 {
 			n = 65
 		}
-		if t.LAN {
+		if s := scen.Specs(seed, n); s != nil {
+			specs = s
+		} else if t.LAN {
 			specs = core.LANSpecs(env, n)
 		} else {
 			specs = core.PlanetLabSpecs(env, n)
@@ -103,6 +118,21 @@ func (t SimTarget) open(_ context.Context, cfg Config, ro *runOptions) (*binding
 	}
 	ro.addObserver(core.LogObserver(t.Logf))
 
+	var ctl *scenario.Controller
+	if scen != nil {
+		// Emit reads ro.observer at event time: ScenarioApplied fires here
+		// (before any stage), FaultInjected from driver callbacks mid-run,
+		// both through the fully composed observer chain.
+		ctl = scen.Start(scenario.Hooks{
+			Env: env, Server: server, Background: bg,
+			Emit: func(ev core.Event) {
+				if ro.observer != nil {
+					ro.observer(ev)
+				}
+			},
+		})
+	}
+
 	return &binding{
 		platform: plat,
 		fetcher:  content.SiteFetcher{Site: t.Site},
@@ -113,6 +143,9 @@ func (t SimTarget) open(_ context.Context, cfg Config, ro *runOptions) (*binding
 				plat.Bind(p)
 				body()
 				bg.Stop()
+				if ctl != nil {
+					ctl.Stop()
+				}
 				if mon != nil {
 					mon.Stop()
 				}
@@ -123,6 +156,9 @@ func (t SimTarget) open(_ context.Context, cfg Config, ro *runOptions) (*binding
 			r.Server = server
 			r.Monitor = mon
 			r.VirtualElapsed = env.Now()
+			if scen != nil && r.Result != nil {
+				r.Result.Scenario = scen.Label()
+			}
 		},
 		close: func() {},
 	}, nil
