@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-short bench-check experiments fuzz campaign-smoke campaign-dist-smoke chaos-smoke api apicheck ci
+.PHONY: build test race vet fmt-check bench bench-short bench-check experiments fuzz campaign-smoke campaign-dist-smoke chaos-smoke metrics-smoke api apicheck ci
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 # DES kernel it drives, the coordinator (event stream + cancellation), and
 # the experiments/campaign layers that fan out on it.
 race:
-	$(GO) test -race ./internal/runner ./internal/netsim ./internal/core ./internal/scenario ./internal/experiments ./internal/campaign ./internal/campaign/dist ./internal/campaign/dist/lease
+	$(GO) test -race ./internal/runner ./internal/netsim ./internal/core ./internal/scenario ./internal/experiments ./internal/campaign ./internal/campaign/dist ./internal/campaign/dist/lease ./internal/obs
 
 # API-surface lock: api.txt is the checked-in `go doc -all` of the public
 # package. `make api` regenerates it after an intentional API change;
@@ -58,6 +58,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime 10s ./internal/campaign
 	$(GO) test -run '^$$' -fuzz '^FuzzLease$$' -fuzztime 10s ./internal/campaign/dist/lease
 	$(GO) test -run '^$$' -fuzz '^FuzzScenarioConfig$$' -fuzztime 10s ./internal/scenario
+	$(GO) test -run '^$$' -fuzz '^FuzzSanitizeMetricName$$' -fuzztime 10s ./internal/obs
+	$(GO) test -run '^$$' -fuzz '^FuzzSanitizeLabelName$$' -fuzztime 10s ./internal/obs
 
 # Kill + resume determinism check, the same sequence CI runs.
 campaign-smoke:
@@ -113,4 +115,40 @@ campaign-dist-smoke:
 	diff /tmp/camp-dist-base.txt /tmp/camp-dist-shared.txt
 	@echo "multi-worker kill -9 + takeover report is byte-identical"
 
-ci: build vet fmt-check apicheck test race chaos-smoke campaign-dist-smoke
+# Observability smoke, the same sequence CI runs: three distributed
+# workers share a plan, one serves the live dashboard with a post-campaign
+# hold; once /progress reports the whole store complete, the /metrics
+# store counters must equal the totals in the merged report's header.
+metrics-smoke:
+	$(GO) build -o /tmp/mfc-campaign ./cmd/mfc-campaign
+	rm -rf /tmp/camp-metrics /tmp/camp-metrics-w3.log
+	/tmp/mfc-campaign plan -dir /tmp/camp-metrics -bands rank-1K-10K -stages base,query -sites 60 -seed 13 -shard-jobs 16
+	@set -e; \
+	/tmp/mfc-campaign work -dir /tmp/camp-metrics -owner w1 -quiet & W1=$$!; \
+	/tmp/mfc-campaign work -dir /tmp/camp-metrics -owner w2 -quiet & W2=$$!; \
+	/tmp/mfc-campaign work -dir /tmp/camp-metrics -owner w3 -quiet \
+		-metrics 127.0.0.1:0 -metrics-hold 120s 2>/tmp/camp-metrics-w3.log & W3=$$!; \
+	addr=""; \
+	until [ -n "$$addr" ]; do \
+		addr=$$(sed -n 's,^serving metrics/dashboard on http://\([^/]*\)/.*,\1,p' /tmp/camp-metrics-w3.log 2>/dev/null); \
+		sleep 0.05; \
+	done; \
+	wait $$W1; wait $$W2; \
+	for i in $$(seq 1 200); do \
+		curl -s "http://$$addr/progress" | grep -q '"store_done": 120' && break; \
+		sleep 0.1; \
+	done; \
+	curl -s "http://$$addr/progress" | grep -q '"store_done": 120' || \
+		{ echo "store never reached 120 done jobs"; curl -s "http://$$addr/progress"; exit 1; }; \
+	curl -s "http://$$addr/metrics" > /tmp/camp-metrics.prom; \
+	curl -s -X POST "http://$$addr/quit" > /dev/null; wait $$W3; \
+	/tmp/mfc-campaign report -dir /tmp/camp-metrics > /tmp/camp-metrics-report.txt; \
+	rtotals=$$(sed -n 's/.*= \([0-9]*\) jobs, \([0-9]*\) done.*/\1 \2/p' /tmp/camp-metrics-report.txt | head -1); \
+	rtotal=$$(echo $$rtotals | cut -d' ' -f1); rdone=$$(echo $$rtotals | cut -d' ' -f2); \
+	mtotal=$$(awk '$$1=="mfc_campaign_store_jobs_total"{print int($$2)}' /tmp/camp-metrics.prom); \
+	mdone=$$(awk '$$1=="mfc_campaign_store_jobs_done"{print int($$2)}' /tmp/camp-metrics.prom); \
+	[ -n "$$mtotal" ] && [ "$$mtotal" = "$$rtotal" ] && [ "$$mdone" = "$$rdone" ] || \
+		{ echo "metrics drift: /metrics store $$mdone/$$mtotal vs report $$rdone/$$rtotal"; exit 1; }; \
+	echo "scraped /metrics store counters ($$mdone/$$mtotal) match the report header"
+
+ci: build vet fmt-check apicheck test race chaos-smoke campaign-dist-smoke metrics-smoke

@@ -11,11 +11,13 @@ package mfc_test
 // EXPERIMENTS.md records the expected values.
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"mfc"
 	"mfc/internal/experiments"
+	"mfc/internal/obs"
 	"mfc/internal/websim"
 )
 
@@ -345,6 +347,25 @@ func BenchmarkSimulatedExperiment(b *testing.B) {
 		_, err := mfc.RunSimulated(mfc.SimTarget{
 			Server: mfc.PresetQTNP(), Site: mfc.PresetQTSite(7), Clients: 65, Seed: int64(i + 1),
 		}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObserverOverhead is BenchmarkSimulatedExperiment with the obs
+// event→metrics bridge attached — the marginal cost of running with
+// -metrics on. Compare ns/op against BenchmarkSimulatedExperiment; the
+// bridge is a handful of atomic adds per epoch and should stay within a
+// few percent.
+func BenchmarkObserverOverhead(b *testing.B) {
+	cfg := mfc.DefaultConfig()
+	cfg.MaxCrowd = 50
+	observer := obs.NewRunMetrics(obs.NewRegistry()).Observer()
+	for i := 0; i < b.N; i++ {
+		_, err := mfc.Run(context.Background(), mfc.SimTarget{
+			Server: mfc.PresetQTNP(), Site: mfc.PresetQTSite(7), Clients: 65, Seed: int64(i + 1),
+		}, cfg, mfc.WithObserver(observer))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,11 +6,20 @@
 // Usage:
 //
 //	mfc-campaign plan   -dir DIR -bands all|b1,b2 -stages base,query,large [-scenarios s1,s2] -sites N [-seed S] [-name NAME]
-//	mfc-campaign run    -dir DIR [-workers N] [-halt-after N] [-quiet]
-//	mfc-campaign resume -dir DIR [-workers N] [-quiet]
-//	mfc-campaign work   -dir DIR [-workers N] [-owner ID] [-ttl D] [-poll D] [-halt-after N] [-quiet]
+//	mfc-campaign run    -dir DIR [-workers N] [-halt-after N] [-quiet] [-metrics :9090]
+//	mfc-campaign resume -dir DIR [-workers N] [-quiet] [-metrics :9090]
+//	mfc-campaign work   -dir DIR [-workers N] [-owner ID] [-ttl D] [-poll D] [-halt-after N] [-quiet] [-metrics :9090]
 //	mfc-campaign report -dir DIR [-dir DIR ...]
 //	mfc-campaign merge  -out DIR -dir DIR [-dir DIR ...]
+//
+// -metrics ADDR serves, for run/resume/work: Prometheus text metrics on
+// /metrics, a JSON progress snapshot (per-band done/pending, session rate,
+// ETA, shard lease churn, whole-store completion) on /progress, Go
+// profiling on /debug/pprof/, and a self-refreshing HTML dashboard on /.
+// All of them read the same tracker state that renders the terminal
+// progress line, so the surfaces cannot drift apart. -metrics-hold keeps
+// the server up after the campaign ends so the terminal counter values
+// can still be scraped; POST /quit releases the hold early.
 //
 // `resume` is `run` with a guard that the campaign already has stored
 // results; both skip every job that already holds a record, and both hold
@@ -29,16 +38,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
-	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"mfc/internal/campaign"
 	"mfc/internal/campaign/dist"
 	"mfc/internal/core"
+	"mfc/internal/obs"
 	"mfc/internal/population"
 	"mfc/internal/scenario"
 )
@@ -79,11 +89,15 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   mfc-campaign plan   -dir DIR -bands all|b1,b2,... -stages base,query,large [-scenarios s1,s2,...] -sites N [-seed S] [-name NAME] [-shard-jobs N]
-  mfc-campaign run    -dir DIR [-workers N] [-halt-after N] [-quiet]
-  mfc-campaign resume -dir DIR [-workers N] [-quiet]
-  mfc-campaign work   -dir DIR [-workers N] [-owner ID] [-ttl D] [-poll D] [-halt-after N] [-quiet]
+  mfc-campaign run    -dir DIR [-workers N] [-halt-after N] [-quiet] [-metrics ADDR [-metrics-hold D]]
+  mfc-campaign resume -dir DIR [-workers N] [-quiet] [-metrics ADDR [-metrics-hold D]]
+  mfc-campaign work   -dir DIR [-workers N] [-owner ID] [-ttl D] [-poll D] [-halt-after N] [-quiet] [-metrics ADDR [-metrics-hold D]]
   mfc-campaign report -dir DIR [-dir DIR ...]
   mfc-campaign merge  -out DIR -dir DIR [-dir DIR ...]
+
+-metrics serves /metrics (Prometheus), /progress (JSON), /debug/pprof/
+and an HTML dashboard on ADDR while the campaign runs; -metrics-hold
+keeps it up that long afterwards (POST /quit releases early).
 
 work runs one distributed worker: start any number of them on the same
 campaign dir (shared filesystem included); they lease disjoint result
@@ -220,10 +234,12 @@ func parseStages(s string) ([]core.Stage, error) {
 func cmdRun(args []string, resume bool) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var (
-		dir       = fs.String("dir", "", "campaign directory (must hold plan.json)")
-		workers   = fs.Int("workers", 0, "worker bound (0 = GOMAXPROCS)")
-		haltAfter = fs.Int("halt-after", 0, "stop cleanly after N new completions (testing/CI)")
-		quiet     = fs.Bool("quiet", false, "suppress the live progress line")
+		dir         = fs.String("dir", "", "campaign directory (must hold plan.json)")
+		workers     = fs.Int("workers", 0, "worker bound (0 = GOMAXPROCS)")
+		haltAfter   = fs.Int("halt-after", 0, "stop cleanly after N new completions (testing/CI)")
+		quiet       = fs.Bool("quiet", false, "suppress the live progress line")
+		metrics     = fs.String("metrics", "", "serve /metrics, /progress, /debug/pprof and the HTML dashboard on this address (e.g. :9090 or :0)")
+		metricsHold = fs.Duration("metrics-hold", 0, "keep the -metrics server up this long after the campaign ends (POST /quit releases early)")
 	)
 	fs.Parse(args)
 	if *dir == "" {
@@ -237,16 +253,20 @@ func cmdRun(args []string, resume bool) error {
 		}
 	}
 
+	mon, err := startMonitor(*dir, *metrics, *metricsHold, *quiet)
+	if err != nil {
+		return err
+	}
 	opts := campaign.Options{Workers: *workers, HaltAfter: *haltAfter}
-	if !*quiet {
-		p := newProgress()
-		opts.OnStart = p.start
-		opts.OnEvent = p.onEvent
+	if !*quiet || *metrics != "" {
+		opts.OnStart = mon.start
+		opts.OnEvent = mon.onEvent
 	}
 	st, err := campaign.Run(context.Background(), *dir, opts)
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
 	}
+	mon.close()
 	if err != nil {
 		return err
 	}
@@ -265,33 +285,39 @@ func cmdRun(args []string, resume bool) error {
 func cmdWork(args []string) error {
 	fs := flag.NewFlagSet("work", flag.ExitOnError)
 	var (
-		dir       = fs.String("dir", "", "campaign directory (must hold plan.json)")
-		workers   = fs.Int("workers", 0, "per-shard measurement pool bound (0 = GOMAXPROCS)")
-		owner     = fs.String("owner", "", "worker id in lease files (default: host-pid-seq; must be unique per worker)")
-		ttl       = fs.Duration("ttl", 0, "lease staleness bound (default 15s)")
-		poll      = fs.Duration("poll", 0, "wait between passes when peers hold all pending shards (default 2s)")
-		haltAfter = fs.Int("halt-after", 0, "stop cleanly after N new completions (testing/CI)")
-		quiet     = fs.Bool("quiet", false, "suppress the live progress line")
+		dir         = fs.String("dir", "", "campaign directory (must hold plan.json)")
+		workers     = fs.Int("workers", 0, "per-shard measurement pool bound (0 = GOMAXPROCS)")
+		owner       = fs.String("owner", "", "worker id in lease files (default: host-pid-seq; must be unique per worker)")
+		ttl         = fs.Duration("ttl", 0, "lease staleness bound (default 15s)")
+		poll        = fs.Duration("poll", 0, "wait between passes when peers hold all pending shards (default 2s)")
+		haltAfter   = fs.Int("halt-after", 0, "stop cleanly after N new completions (testing/CI)")
+		quiet       = fs.Bool("quiet", false, "suppress the live progress line")
+		metrics     = fs.String("metrics", "", "serve /metrics, /progress, /debug/pprof and the HTML dashboard on this address (e.g. :9090 or :0)")
+		metricsHold = fs.Duration("metrics-hold", 0, "keep the -metrics server up this long after this worker ends (POST /quit releases early)")
 	)
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("work: -dir is required")
 	}
 
+	mon, err := startMonitor(*dir, *metrics, *metricsHold, *quiet)
+	if err != nil {
+		return err
+	}
 	opts := dist.WorkOptions{
 		Owner: *owner, Workers: *workers, TTL: *ttl, Poll: *poll, HaltAfter: *haltAfter,
 	}
-	if !*quiet {
-		p := newProgress()
-		opts.OnStart = p.start
-		opts.OnEvent = p.onEvent
-		opts.OnClaim = p.onClaim
-		opts.OnShardDone = p.onShardDone
+	if !*quiet || *metrics != "" {
+		opts.OnStart = mon.start
+		opts.OnEvent = mon.onEvent
+		opts.OnClaim = mon.onClaim
+		opts.OnShardDone = mon.onShardDone
 	}
 	st, err := dist.Work(context.Background(), *dir, opts)
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
 	}
+	mon.close()
 	if err != nil {
 		return err
 	}
@@ -329,146 +355,80 @@ func cmdMerge(args []string) error {
 	return nil
 }
 
-// progress renders the live line from the campaign's typed event stream:
-// overall completion from the terminal ExperimentFinished events, epoch
-// throughput from EpochCompleted, an overall ETA from this session's
-// completion rate — previously-completed sites anchor the percentage but
-// never the rate, so a resume shows an honest ETA instead of one deflated
-// by jobs that finished in an earlier session — and a per-band ETA
-// extrapolated the same way. When driven by `work` it also shows shard
-// lease churn (claimed/sealed).
-type progress struct {
-	mu        sync.Mutex
-	started   time.Time
-	total     int
-	already   int
-	done      int       // completions this session only
-	firstDone time.Time // this session's first completion (rate anchor)
-	epochs    int64     // updated outside mu: atomic
+// liveMonitor couples the shared campaign.Tracker — the single source of
+// truth behind the terminal progress line, the /progress JSON and the
+// /metrics exposition, so the three can never drift — with the optional
+// dashboard HTTP server enabled by -metrics.
+type liveMonitor struct {
+	tr    *campaign.Tracker
+	quiet bool
 
-	order []string
-	bands map[string]*bandState
-
-	// Shard lease churn, only rendered once a claim happens (work verb).
-	shardsClaimed int
-	shardsSealed  int
-
+	// Throttle for the terminal line: ~10 lines/sec, final always prints.
 	lastLine atomic.Int64
+
+	srv  *http.Server
+	dash *campaign.Dash
+	hold time.Duration
 }
 
-type bandState struct {
-	pending int
-	done    int
-	first   time.Time // first completion in this band
-}
-
-func newProgress() *progress {
-	return &progress{started: time.Now(), bands: map[string]*bandState{}}
-}
-
-func (p *progress) start(info campaign.StartInfo) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.total = info.Total
-	p.already = info.AlreadyDone
-	for band, n := range info.PendingByBand {
-		p.bands[band] = &bandState{pending: n}
-		p.order = append(p.order, band)
+// startMonitor builds the Tracker and, when addr is non-empty, starts the
+// dashboard server on it (use ":0" for an ephemeral port; the bound
+// address is printed to stderr).
+func startMonitor(dir, addr string, hold time.Duration, quiet bool) (*liveMonitor, error) {
+	m := &liveMonitor{quiet: quiet, hold: hold}
+	var reg *obs.Registry
+	if addr != "" {
+		reg = obs.NewRegistry()
 	}
-	sort.Strings(p.order)
-}
-
-func (p *progress) onClaim(int) {
-	p.mu.Lock()
-	p.shardsClaimed++
-	p.mu.Unlock()
-}
-
-func (p *progress) onShardDone(int, int) {
-	p.mu.Lock()
-	p.shardsSealed++
-	p.mu.Unlock()
-}
-
-func (p *progress) onEvent(ev campaign.SiteEvent) {
-	switch ev.Event.(type) {
-	case core.EpochCompleted:
-		atomic.AddInt64(&p.epochs, 1)
-		return
-	case core.ExperimentFinished:
-	default:
-		return
-	}
-	p.mu.Lock()
-	if p.done == 0 {
-		p.firstDone = time.Now()
-	}
-	p.done++
-	b := p.bands[ev.Band]
-	if b != nil {
-		if b.done == 0 {
-			b.first = time.Now()
+	m.tr = campaign.NewTracker(reg)
+	if addr != "" {
+		m.dash = campaign.NewDash(dir, reg, m.tr)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("-metrics: %w", err)
 		}
-		b.done++
+		fmt.Fprintf(os.Stderr, "serving metrics/dashboard on http://%s/\n", ln.Addr())
+		m.srv = &http.Server{Handler: m.dash.Handler()}
+		go m.srv.Serve(ln)
 	}
-	line := p.renderLocked()
-	final := p.already+p.done >= p.total
-	p.mu.Unlock()
+	return m, nil
+}
 
-	// Throttle to ~10 lines/sec; the final completion always prints.
+func (m *liveMonitor) start(info campaign.StartInfo) { m.tr.Start(info) }
+
+func (m *liveMonitor) onClaim(shard int) { m.tr.OnClaim(shard) }
+
+func (m *liveMonitor) onShardDone(shard, n int) { m.tr.OnShardDone(shard, n) }
+
+func (m *liveMonitor) onEvent(ev campaign.SiteEvent) {
+	m.tr.OnEvent(ev)
+	if m.quiet || !ev.Terminal() {
+		return
+	}
+	final := m.tr.Finished()
 	now := time.Now().UnixMilli()
-	last := p.lastLine.Load()
-	if !final && (now-last < 100 || !p.lastLine.CompareAndSwap(last, now)) {
+	last := m.lastLine.Load()
+	if !final && (now-last < 100 || !m.lastLine.CompareAndSwap(last, now)) {
 		return
 	}
-	fmt.Fprint(os.Stderr, line)
+	fmt.Fprint(os.Stderr, m.tr.Line())
 }
 
-// sessionETA extrapolates the time to finish `left` jobs from `done`
-// completions since `first`. The rate counts only completions after the
-// first (the first anchors the clock — one data point is not a rate yet),
-// and deliberately never includes jobs completed before this session: a
-// resumed campaign's already-done sites say nothing about how fast this
-// session is measuring.
-func sessionETA(done, left int, first time.Time) (time.Duration, bool) {
-	if left <= 0 || done < 2 {
-		return 0, false
+// close shuts the dashboard down. With -metrics-hold the server stays up
+// after the campaign ends — so a scraper can read the terminal counter
+// values — until the hold elapses or something POSTs /quit.
+func (m *liveMonitor) close() {
+	if m.srv == nil {
+		return
 	}
-	elapsed := time.Since(first).Seconds()
-	if elapsed <= 0 {
-		return 0, false
-	}
-	rate := float64(done-1) / elapsed
-	return time.Duration(float64(left)/rate) * time.Second, true
-}
-
-func (p *progress) renderLocked() string {
-	var b strings.Builder
-	overall := p.already + p.done
-	fmt.Fprintf(&b, "\r%d/%d sites (%.1f%%) %.0fs %d epochs",
-		overall, p.total, 100*float64(overall)/float64(p.total),
-		time.Since(p.started).Seconds(), atomic.LoadInt64(&p.epochs))
-	if p.already > 0 {
-		fmt.Fprintf(&b, " (+%d earlier)", p.already)
-	}
-	if p.shardsClaimed > 0 {
-		fmt.Fprintf(&b, " shards %d/%d", p.shardsSealed, p.shardsClaimed)
-	}
-	if eta, ok := sessionETA(p.done, p.total-overall, p.firstDone); ok {
-		fmt.Fprintf(&b, " eta %s", eta.Round(time.Second))
-	}
-	for _, band := range p.order {
-		bs := p.bands[band]
-		if bs.pending == 0 {
-			continue
-		}
-		fmt.Fprintf(&b, " | %s %d/%d", band, bs.done, bs.pending)
-		if eta, ok := sessionETA(bs.done, bs.pending-bs.done, bs.first); ok {
-			fmt.Fprintf(&b, " eta %s", eta.Round(time.Second))
+	if m.hold > 0 {
+		fmt.Fprintf(os.Stderr, "holding dashboard for %v (POST /quit to release)\n", m.hold)
+		select {
+		case <-time.After(m.hold):
+		case <-m.dash.WaitQuit():
 		}
 	}
-	b.WriteString(" ")
-	return b.String()
+	m.srv.Close()
 }
 
 func cmdReport(args []string) error {

@@ -9,6 +9,7 @@
 //	mfc-experiments -run f3,t1   # a comma-separated subset
 //	mfc-experiments -list
 //	mfc-experiments -sites 10000 # scaling mode: §5 across all six bands at N sites/band
+//	mfc-experiments -run f3 -trace f3.json  # Perfetto trace of every run, in virtual time
 package main
 
 import (
@@ -20,9 +21,11 @@ import (
 	"strings"
 	"time"
 
+	"mfc"
 	"mfc/internal/campaign"
 	"mfc/internal/core"
 	"mfc/internal/experiments"
+	"mfc/internal/obs"
 	"mfc/internal/population"
 	"mfc/internal/websim"
 )
@@ -262,13 +265,43 @@ func runScaled(sites int, seed int64, dir string) error {
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		sites   = flag.Int("sites", 0, "scaling mode: run §5 across all six bands at N sites per band")
-		campDir = flag.String("campaign-dir", "", "campaign directory for -sites (default: a temp dir); rerunning resumes it")
+		run      = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		sites    = flag.Int("sites", 0, "scaling mode: run §5 across all six bands at N sites per band")
+		campDir  = flag.String("campaign-dir", "", "campaign directory for -sites (default: a temp dir); rerunning resumes it")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of every MFC run (virtual time) to this file; not supported with -sites")
 	)
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		if *sites > 0 {
+			// Campaign jobs run in worker subprocesses; their events never
+			// reach this process, so a trace would be silently empty.
+			log.Fatal("-trace is not supported with -sites (campaign jobs run out of process)")
+		}
+		tracer = obs.NewTracer()
+		experiments.EnableTrace(func(label string) mfc.Observer {
+			return tracer.RunObserver(label)
+		})
+	}
+	flushTrace := func() {
+		if tracer == nil {
+			return
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if _, err := tracer.WriteTo(f); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace of %d events written to %s (load in Perfetto)\n", tracer.Len(), *traceOut)
+	}
 
 	if *sites > 0 {
 		if err := runScaled(*sites, *seed, *campDir); err != nil {
@@ -307,6 +340,7 @@ func main() {
 		}
 		fmt.Printf("==== %s — %s (%.1fs) ====\n%s\n", e.id, e.desc, time.Since(t0).Seconds(), out)
 	}
+	flushTrace()
 	if failed {
 		os.Exit(1)
 	}

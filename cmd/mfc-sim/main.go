@@ -8,6 +8,7 @@
 //	mfc-sim -preset qtnp [-threshold 100ms] [-max 55] [-mr 1] [-seed 1]
 //	mfc-sim -preset qtnp -scenario lossy      # wrap the run in a named scenario
 //	mfc-sim -preset qtnp -scenario '{"loss":0.02}'
+//	mfc-sim -preset qtnp -trace out.json      # Chrome/Perfetto trace in virtual time
 //	mfc-sim -preset custom -cores 2 -parse 5ms -dbconns 4 -bandwidth 12.5e6
 //	mfc-sim -list
 //	mfc-sim -list-scenarios
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"mfc"
+	"mfc/internal/obs"
 )
 
 func main() {
@@ -37,6 +39,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed (same seed = same run)")
 		bgRate    = flag.Float64("bg", 0, "background traffic rate (requests/sec)")
 		scen      = flag.String("scenario", "", "scenario wrapping the run: a name (see -list-scenarios) or inline JSON")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run (virtual time) to this file")
 		verbose   = flag.Bool("v", false, "log coordinator progress")
 		list      = flag.Bool("list", false, "list presets and exit")
 		listScen  = flag.Bool("list-scenarios", false, "list scenario presets and exit")
@@ -125,6 +128,11 @@ func main() {
 	if *verbose {
 		opts = append(opts, mfc.WithObserver(mfc.LogObserver(log.Printf)))
 	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		opts = append(opts, mfc.WithObserver(tracer.RunObserver(fmt.Sprintf("%s seed=%d", *preset, *seed))))
+	}
 	t0 := time.Now()
 	run, err := mfc.Run(context.Background(), mfc.SimTarget{
 		Server:     srv,
@@ -136,6 +144,19 @@ func main() {
 	}, cfg, opts...)
 	if err != nil {
 		log.Fatalf("mfc-sim: %v", err)
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("mfc-sim: %v", err)
+		}
+		if _, err := tracer.WriteTo(f); err != nil {
+			log.Fatalf("mfc-sim: writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("mfc-sim: writing trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (load in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 	fmt.Println(run.Profile)
 	fmt.Print(run.Result)

@@ -58,4 +58,19 @@
 // `merge` into a consolidated one; the report is byte-identical however
 // the jobs were split, killed or resumed. See DESIGN.md "Distributed
 // campaigns".
+//
+// # Observability
+//
+// Every run's event stream can be observed without changing it.
+// `mfc-campaign run|resume|work -metrics ADDR` serves Prometheus text
+// metrics on /metrics, a JSON progress snapshot (per-band done/pending,
+// session rate, ETA, shard lease churn, whole-store completion) on
+// /progress, Go profiling on /debug/pprof/ and a live HTML dashboard on
+// /; all of them render the same tracker state as the terminal progress
+// line, so the surfaces cannot disagree (`-metrics-hold` keeps the server
+// scrapable after the campaign; POST /quit releases it). `mfc-sim -trace
+// out.json` and `mfc-experiments -trace out.json` write Chrome
+// trace-event JSON in virtual time — stage and epoch spans, fault and
+// check-phase instants — loadable in Perfetto or chrome://tracing. See
+// DESIGN.md "Observability".
 package mfc

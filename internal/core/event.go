@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"fmt"
+	"strings"
+	"time"
+)
 
 // The coordinator reports progress as a typed event stream instead of
 // formatted log lines: every consumer (CLIs, the campaign engine, tests)
@@ -116,26 +120,76 @@ func (MeasurersReserved) event()  {}
 func (CheckPhaseEntered) event()  {}
 func (ExperimentFinished) event() {}
 
-// LogObserver renders events as the legacy logf progress lines for the
-// deprecated NewCoordinator(p, cfg, logf) constructor: the per-epoch,
-// check-phase-entered and measurer-reserved lines. Two informational lines
-// of the pre-event API ("registered N active clients" and "check phase
-// failed at crowd N; progressing") have no corresponding event and are no
-// longer printed.
+// RenderEvent renders one event as the canonical human-readable progress
+// line — the single renderer behind LogObserver and any CLI that prints
+// the stream. ok is false for event types with no line (none today) and
+// unknown events. The per-epoch, check-phase and measurer lines keep their
+// legacy logf-era wording; the remaining event types gained lines when the
+// renderer was unified.
+func RenderEvent(ev Event) (line string, ok bool) {
+	switch e := ev.(type) {
+	case StageStarted:
+		return fmt.Sprintf("stage %v started at t=%v", e.Stage, e.At), true
+	case EpochCompleted:
+		return fmt.Sprintf("stage %v epoch %d (%v): crowd=%d sched=%d recv=%d q%.0f=%v median=%v",
+			e.Stage, e.Epoch, e.Kind, e.Crowd, e.Scheduled, e.Received,
+			e.Quantile*100, e.NormQuantile, e.NormMedian), true
+	case CheckPhaseEntered:
+		return fmt.Sprintf("stage %v: crowd %d exceeded θ; entering check phase", e.Stage, e.Crowd), true
+	case MeasurersReserved:
+		return fmt.Sprintf("reserved %d measurer clients for %s", e.Clients, e.URL), true
+	case ScenarioApplied:
+		return fmt.Sprintf("scenario %q active: %s", e.Name, strings.Join(e.Effects, ", ")), true
+	case FaultInjected:
+		if e.Restored {
+			return fmt.Sprintf("scenario %q: fault %s restored at t=%v", e.Scenario, e.Kind, e.At), true
+		}
+		if e.Duration > 0 {
+			return fmt.Sprintf("scenario %q: fault %s injected at t=%v for %v",
+				e.Scenario, e.Kind, e.At, e.Duration), true
+		}
+		return fmt.Sprintf("scenario %q: fault %s injected at t=%v", e.Scenario, e.Kind, e.At), true
+	case ExperimentFinished:
+		if e.Err != "" {
+			return fmt.Sprintf("experiment on %s failed: %s", e.Target, e.Err), true
+		}
+		if e.Result != nil {
+			return fmt.Sprintf("experiment on %s finished: %s", e.Target, verdictLine(e.Result)), true
+		}
+		return fmt.Sprintf("experiment on %s finished", e.Target), true
+	}
+	return "", false
+}
+
+// verdictLine compacts a result into "Base=Stopped@20 SmallQuery=NoStop".
+func verdictLine(r *Result) string {
+	if len(r.Stages) == 0 {
+		return "no stages"
+	}
+	parts := make([]string, 0, len(r.Stages))
+	for _, sr := range r.Stages {
+		p := fmt.Sprintf("%v=%v", sr.Stage, sr.Verdict)
+		if sr.Verdict == VerdictStopped {
+			p = fmt.Sprintf("%s@%d", p, sr.StoppingCrowd)
+		}
+		parts = append(parts, p)
+	}
+	return strings.Join(parts, " ")
+}
+
+// LogObserver adapts RenderEvent to a logf sink: every event with a line
+// is printed. It remains the observer behind the deprecated
+// NewCoordinator(p, cfg, logf) constructor. Two informational lines of the
+// pre-event API ("registered N active clients" and "check phase failed at
+// crowd N; progressing") have no corresponding event and are no longer
+// printed.
 func LogObserver(logf func(string, ...any)) Observer {
 	if logf == nil {
 		return nil
 	}
 	return func(ev Event) {
-		switch e := ev.(type) {
-		case EpochCompleted:
-			logf("stage %v epoch %d (%v): crowd=%d sched=%d recv=%d q%.0f=%v median=%v",
-				e.Stage, e.Epoch, e.Kind, e.Crowd, e.Scheduled, e.Received,
-				e.Quantile*100, e.NormQuantile, e.NormMedian)
-		case CheckPhaseEntered:
-			logf("stage %v: crowd %d exceeded θ; entering check phase", e.Stage, e.Crowd)
-		case MeasurersReserved:
-			logf("reserved %d measurer clients for %s", e.Clients, e.URL)
+		if line, ok := RenderEvent(ev); ok {
+			logf("%s", line)
 		}
 	}
 }

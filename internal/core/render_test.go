@@ -1,0 +1,106 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// renderFixture is one of each event type, in stream order, with every
+// branch of the renderer exercised (transient and permanent faults,
+// restoration, error and success terminals).
+func renderFixture() []Event {
+	return []Event{
+		ScenarioApplied{Name: "lossy-cdn", Effects: []string{"loss", "flap@30s"}},
+		StageStarted{Stage: StageBase, At: 2 * time.Second},
+		MeasurersReserved{URL: "http://site.test/q", Clients: 4},
+		EpochCompleted{Stage: StageBase, Epoch: 3, Kind: EpochRamp, Crowd: 15,
+			Scheduled: 15, Received: 14, Errors: 1, Quantile: 0.9,
+			NormQuantile: 120 * time.Millisecond, NormMedian: 80 * time.Millisecond,
+			Exceeded: true, At: 40 * time.Second},
+		CheckPhaseEntered{Stage: StageBase, Crowd: 15},
+		EpochCompleted{Stage: StageBase, Epoch: 4, Kind: EpochCheckMinus, Crowd: 14,
+			Scheduled: 14, Received: 14, Quantile: 0.5,
+			NormQuantile: 90 * time.Millisecond, NormMedian: 90 * time.Millisecond,
+			At: 55 * time.Second},
+		FaultInjected{Scenario: "lossy-cdn", Kind: "flap", At: 30 * time.Second,
+			Duration: 5 * time.Second},
+		FaultInjected{Scenario: "lossy-cdn", Kind: "flap", At: 35 * time.Second,
+			Restored: true},
+		FaultInjected{Scenario: "lossy-cdn", Kind: "capacity-step", At: 60 * time.Second},
+		ExperimentFinished{Target: "http://site.test/", Result: &Result{
+			Target: "http://site.test/",
+			Stages: []*StageResult{
+				{Stage: StageBase, Verdict: VerdictStopped, StoppingCrowd: 20},
+				{Stage: StageSmallQuery, Verdict: VerdictNoStop},
+				{Stage: StageLargeObject, Verdict: VerdictUnavailable},
+			},
+		}},
+		ExperimentFinished{Target: "http://down.test/", Err: "registration failed"},
+		ExperimentFinished{Target: "http://odd.test/"},
+	}
+}
+
+// TestRenderEventGolden locks the canonical line for every event type:
+// LogObserver output, and any CLI built on RenderEvent, render exactly
+// these bytes.
+func TestRenderEventGolden(t *testing.T) {
+	var sb strings.Builder
+	for _, ev := range renderFixture() {
+		line, ok := RenderEvent(ev)
+		if !ok {
+			t.Fatalf("RenderEvent(%T) has no rendering", ev)
+		}
+		sb.WriteString(line)
+		sb.WriteString("\n")
+	}
+	path := filepath.Join("testdata", "render_events.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("rendered lines differ from golden:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// LogObserver is a thin adapter: one logf line per renderable event, the
+// rendered text passed through verbatim.
+func TestLogObserverUsesRenderer(t *testing.T) {
+	var got []string
+	obs := LogObserver(func(format string, args ...any) {
+		if format != "%s" {
+			t.Errorf("logf format = %q, want passthrough %%s", format)
+		}
+		got = append(got, args[0].(string))
+	})
+	events := renderFixture()
+	for _, ev := range events {
+		obs(ev)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("logged %d lines for %d events", len(got), len(events))
+	}
+	for i, ev := range events {
+		want, _ := RenderEvent(ev)
+		if got[i] != want {
+			t.Errorf("line %d = %q, want %q", i, got[i], want)
+		}
+	}
+	if LogObserver(nil) != nil {
+		t.Error("LogObserver(nil) must be nil (silence)")
+	}
+}

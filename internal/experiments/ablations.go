@@ -76,7 +76,8 @@ func noisyBaseRun(cfg core.Config, seed int64) (int, error) {
 		Server: srvCfg, Site: websim.QTSite(7),
 		Background: websim.BackgroundConfig{BurstSize: 1200, BurstEvery: 12 * time.Second},
 		Clients:    60, Seed: seed, NoAccessLog: true, MonitorPeriod: -1,
-	}, cfg, mfc.WithStage(core.StageBase))
+	}, cfg, mfc.WithStage(core.StageBase),
+		traceOpt(fmt.Sprintf("ablation-check seed=%d", seed)))
 	if err != nil {
 		return 0, err
 	}
@@ -140,7 +141,8 @@ func AblationQuantile(seed int64) (*QuantileAblationResult, error) {
 				}
 				return specs
 			},
-		}, cfg, mfc.WithStage(core.StageLargeObject))
+		}, cfg, mfc.WithStage(core.StageLargeObject),
+			traceOpt(fmt.Sprintf("ablation-quantile q=%g", q)))
 		if err != nil {
 			return 0, err
 		}

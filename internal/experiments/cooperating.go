@@ -20,7 +20,7 @@ func runSite(srvCfg websim.Config, site *content.Site, bg websim.BackgroundConfi
 		Server: srvCfg, Site: site, Background: bg, Clients: clients, Seed: seed,
 		CommandLoss:   0.015, // the paper's UDP control has no retransmit
 		MonitorPeriod: -1,
-	}, cfg)
+	}, cfg, traceOpt(fmt.Sprintf("%s seed=%d", srvCfg.Name, seed)))
 	if err != nil {
 		return nil, nil, err
 	}

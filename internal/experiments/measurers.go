@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"mfc"
@@ -76,7 +77,8 @@ func measurerRun(srvCfg websim.Config, site *content.Site, crowdStage core.Stage
 	run, err := mfc.Run(context.Background(), mfc.SimTarget{
 		Server: srvCfg, Site: site, Clients: 70, LAN: true, Seed: seed,
 		NoAccessLog: true, MonitorPeriod: -1,
-	}, cfg, mfc.WithStage(crowdStage))
+	}, cfg, mfc.WithStage(crowdStage),
+		traceOpt(fmt.Sprintf("measurers %v seed=%d", crowdStage, seed)))
 	if err != nil {
 		return nil, err
 	}

@@ -113,7 +113,8 @@ func measureSite(stage core.Stage, sample population.SiteSample, seed int64) (st
 	run, err := mfc.Run(context.Background(), mfc.SimTarget{
 		Server: sample.Config, Site: sample.Site, Clients: 60, Seed: seed,
 		NoAccessLog: true, MonitorPeriod: -1,
-	}, cfg, mfc.WithStage(stage))
+	}, cfg, mfc.WithStage(stage),
+		traceOpt(fmt.Sprintf("%v %s", stage, sample.Name)))
 	if err != nil {
 		return 0, false, err
 	}

@@ -101,7 +101,8 @@ func baseStageStop(srvCfg websim.Config, site *content.Site, theta time.Duration
 	run, err := mfc.Run(context.Background(), mfc.SimTarget{
 		Server: srvCfg, Site: site, Clients: 90, Seed: seed,
 		NoAccessLog: true, MonitorPeriod: -1,
-	}, cfg, mfc.WithStage(core.StageBase))
+	}, cfg, mfc.WithStage(core.StageBase),
+		traceOpt(fmt.Sprintf("predictive %s seed=%d", srvCfg.Name, seed)))
 	if err != nil {
 		return 0, err
 	}

@@ -41,7 +41,8 @@ func Figure3(seed int64) (*Figure3Result, error) {
 	cfg.Threshold = time.Hour // never stop: one clean epoch
 	run, err := mfc.Run(context.Background(), mfc.SimTarget{
 		Server: srvCfg, Site: site, Clients: 65, Seed: seed, MonitorPeriod: -1,
-	}, cfg, mfc.WithStage(core.StageBase))
+	}, cfg, mfc.WithStage(core.StageBase),
+		traceOpt(fmt.Sprintf("figure3 seed=%d", seed)))
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +121,8 @@ func Figure4(model websim.SyntheticModel, seed int64) (*Figure4Result, error) {
 	run, err := mfc.Run(context.Background(), mfc.SimTarget{
 		Server: websim.ValidationConfig(model), Site: websim.ValidationSite(),
 		Clients: 65, Seed: seed, NoAccessLog: true, MonitorPeriod: -1,
-	}, cfg, mfc.WithStage(core.StageBase))
+	}, cfg, mfc.WithStage(core.StageBase),
+		traceOpt(fmt.Sprintf("figure4 seed=%d", seed)))
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +255,8 @@ func labRun(stage core.Stage, backend websim.Backend, seed int64) ([]ResourcePoi
 		Server: websim.LabConfig(backend), Site: websim.LabSite(),
 		Clients: 55, LAN: true, Seed: seed, NoAccessLog: true,
 		MonitorPeriod: 100 * time.Millisecond,
-	}, cfg, mfc.WithStage(stage))
+	}, cfg, mfc.WithStage(stage),
+		traceOpt(fmt.Sprintf("lab %v backend=%v seed=%d", stage, backend, seed)))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"mfc/internal/core"
+)
+
+// DefaultLatencyBuckets are the declared buckets (seconds) for normalized
+// response-time histograms: 1ms to 10s, roughly logarithmic, dense around
+// the paper's 100ms detection threshold.
+var DefaultLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// RunMetrics is the event→metrics bridge: attach Observer() to a run (or
+// many runs — counters aggregate) and the registry tracks epochs,
+// requests, samples, response-time quantiles, faults and outcomes. Every
+// child the per-epoch path touches is resolved at construction, so
+// observing one event is a handful of atomic adds and never allocates or
+// takes the registry lock.
+type RunMetrics struct {
+	stagesStarted  CounterVec
+	epochs         [4]Counter // by EpochKind
+	requests       Counter
+	samples        Counter
+	sampleErrors   Counter
+	epochsExceeded Counter
+	normQuantile   Histogram
+	normMedian     Histogram
+	checkPhases    Counter
+	measurers      Counter
+	scenarios      Counter
+	faults         CounterVec
+	finished       Counter
+	finishedErrors Counter
+	stageVerdicts  CounterVec
+	lastCrowd      Gauge
+	stoppingCrowds Histogram
+}
+
+// NewRunMetrics registers the bridge's metric families (all prefixed
+// mfc_run_) on reg and returns the bridge. Registering twice on one
+// registry returns a second handle onto the same counters.
+func NewRunMetrics(reg *Registry) *RunMetrics {
+	m := &RunMetrics{}
+	m.stagesStarted = reg.CounterVec("mfc_run_stages_started_total",
+		"Stages started, by request category.", "stage")
+	for _, s := range core.Stages {
+		m.stagesStarted.With(s.String()) // pre-create so all three expose at 0
+	}
+	epochs := reg.CounterVec("mfc_run_epochs_total",
+		"Epochs completed, by kind (ramp or check phase).", "kind")
+	for k := core.EpochRamp; k <= core.EpochCheckPlus; k++ {
+		m.epochs[k] = epochs.With(k.String())
+	}
+	m.requests = reg.Counter("mfc_run_requests_scheduled_total",
+		"Requests scheduled across all epochs.")
+	m.samples = reg.Counter("mfc_run_samples_received_total",
+		"Samples collected across all epochs (UDP polls can be lost).")
+	m.sampleErrors = reg.Counter("mfc_run_sample_errors_total",
+		"Collected samples carrying an error.")
+	m.epochsExceeded = reg.Counter("mfc_run_epochs_exceeded_total",
+		"Epochs whose normalized quantile exceeded the threshold.")
+	m.normQuantile = reg.Histogram("mfc_run_norm_quantile_seconds",
+		"Per-epoch normalized response time at the detection quantile.",
+		DefaultLatencyBuckets)
+	m.normMedian = reg.Histogram("mfc_run_norm_median_seconds",
+		"Per-epoch median normalized response time.", DefaultLatencyBuckets)
+	m.checkPhases = reg.Counter("mfc_run_check_phases_total",
+		"Check phases entered (a ramp epoch exceeded the threshold).")
+	m.measurers = reg.Counter("mfc_run_measurers_reserved_total",
+		"Clients reserved as measurers (§6 extension).")
+	m.scenarios = reg.Counter("mfc_run_scenarios_applied_total",
+		"Runs wrapped by a scenario environment.")
+	m.faults = reg.CounterVec("mfc_run_faults_injected_total",
+		"Chaos faults fired mid-run, by kind; restorations count separately.",
+		"kind", "restored")
+	m.finished = reg.Counter("mfc_run_experiments_finished_total",
+		"Experiments finished (the terminal event, once per run).")
+	m.finishedErrors = reg.Counter("mfc_run_experiment_errors_total",
+		"Experiments that finished with an error.")
+	m.stageVerdicts = reg.CounterVec("mfc_run_stage_verdicts_total",
+		"Stage outcomes on finished experiments, by verdict.", "verdict")
+	m.lastCrowd = reg.Gauge("mfc_run_last_epoch_crowd",
+		"Crowd size of the most recently completed epoch.")
+	m.stoppingCrowds = reg.Histogram("mfc_run_stopping_crowd",
+		"Confirmed stopping crowd sizes on finished experiments.",
+		[]float64{10, 15, 20, 25, 30, 35, 40, 45, 50, 55})
+	return m
+}
+
+// Observer returns the bridge's event observer. It may be attached to any
+// number of concurrent runs; all counters are atomic.
+func (m *RunMetrics) Observer() core.Observer {
+	return func(ev core.Event) {
+		switch e := ev.(type) {
+		case core.EpochCompleted:
+			k := e.Kind
+			if k < 0 || int(k) >= len(m.epochs) {
+				k = core.EpochRamp
+			}
+			m.epochs[k].Inc()
+			m.requests.Add(int64(e.Scheduled))
+			m.samples.Add(int64(e.Received))
+			m.sampleErrors.Add(int64(e.Errors))
+			if e.Exceeded {
+				m.epochsExceeded.Inc()
+			}
+			m.normQuantile.Observe(e.NormQuantile.Seconds())
+			m.normMedian.Observe(e.NormMedian.Seconds())
+			m.lastCrowd.Set(float64(e.Crowd))
+		case core.StageStarted:
+			// Three lookups per run — fine to hit the family map here.
+			m.stagesStarted.With(e.Stage.String()).Inc()
+		case core.CheckPhaseEntered:
+			m.checkPhases.Inc()
+		case core.MeasurersReserved:
+			m.measurers.Add(int64(e.Clients))
+		case core.ScenarioApplied:
+			m.scenarios.Inc()
+		case core.FaultInjected:
+			restored := "no"
+			if e.Restored {
+				restored = "yes"
+			}
+			m.faults.With(e.Kind, restored).Inc()
+		case core.ExperimentFinished:
+			m.finished.Inc()
+			if e.Err != "" {
+				m.finishedErrors.Inc()
+			}
+			if e.Result != nil {
+				for _, sr := range e.Result.Stages {
+					m.stageVerdicts.With(sr.Verdict.String()).Inc()
+					if sr.Verdict == core.VerdictStopped {
+						m.stoppingCrowds.Observe(float64(sr.StoppingCrowd))
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mfc/internal/core"
+)
+
+func TestBridgeCountsEvents(t *testing.T) {
+	r := NewRegistry()
+	obs := NewRunMetrics(r).Observer()
+
+	obs(core.ScenarioApplied{Name: "lossy"})
+	obs(core.StageStarted{Stage: core.StageBase})
+	obs(core.MeasurersReserved{URL: "http://m/", Clients: 4})
+	obs(core.EpochCompleted{Stage: core.StageBase, Kind: core.EpochRamp,
+		Crowd: 5, Scheduled: 5, Received: 4, Errors: 1,
+		NormQuantile: 50 * time.Millisecond, NormMedian: 40 * time.Millisecond})
+	obs(core.EpochCompleted{Stage: core.StageBase, Kind: core.EpochRamp,
+		Crowd: 10, Scheduled: 10, Received: 10,
+		NormQuantile: 150 * time.Millisecond, NormMedian: 120 * time.Millisecond,
+		Exceeded: true})
+	obs(core.CheckPhaseEntered{Stage: core.StageBase, Crowd: 10})
+	obs(core.EpochCompleted{Stage: core.StageBase, Kind: core.EpochCheckPlus,
+		Crowd: 11, Scheduled: 11, Received: 11,
+		NormQuantile: 200 * time.Millisecond, Exceeded: true})
+	obs(core.FaultInjected{Scenario: "lossy", Kind: "flap", At: time.Second})
+	obs(core.FaultInjected{Scenario: "lossy", Kind: "flap", At: 2 * time.Second, Restored: true})
+	obs(core.ExperimentFinished{Target: "t", Result: &core.Result{
+		Stages: []*core.StageResult{
+			{Stage: core.StageBase, Verdict: core.VerdictStopped, StoppingCrowd: 10},
+			{Stage: core.StageSmallQuery, Verdict: core.VerdictNoStop},
+		},
+	}})
+
+	var sb strings.Builder
+	r.WriteTo(&sb)
+	got := sb.String()
+	for _, want := range []string{
+		`mfc_run_epochs_total{kind="ramp"} 2`,
+		`mfc_run_epochs_total{kind="check+"} 1`,
+		`mfc_run_requests_scheduled_total 26`,
+		`mfc_run_samples_received_total 25`,
+		`mfc_run_sample_errors_total 1`,
+		`mfc_run_epochs_exceeded_total 2`,
+		`mfc_run_check_phases_total 1`,
+		`mfc_run_measurers_reserved_total 4`,
+		`mfc_run_scenarios_applied_total 1`,
+		`mfc_run_faults_injected_total{kind="flap",restored="no"} 1`,
+		`mfc_run_faults_injected_total{kind="flap",restored="yes"} 1`,
+		`mfc_run_experiments_finished_total 1`,
+		`mfc_run_experiment_errors_total 0`,
+		`mfc_run_stage_verdicts_total{verdict="Stopped"} 1`,
+		`mfc_run_stage_verdicts_total{verdict="NoStop"} 1`,
+		`mfc_run_stages_started_total{stage="Base"} 1`,
+		`mfc_run_stages_started_total{stage="SmallQuery"} 0`,
+		`mfc_run_last_epoch_crowd 11`,
+		`mfc_run_norm_quantile_seconds_count 3`,
+		`mfc_run_stopping_crowd_count 1`,
+		`mfc_run_stopping_crowd_bucket{le="10"} 1`,
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", got)
+	}
+}
+
+func TestBridgeErrorRun(t *testing.T) {
+	r := NewRegistry()
+	obs := NewRunMetrics(r).Observer()
+	obs(core.ExperimentFinished{Target: "t", Err: "boom"})
+	var sb strings.Builder
+	r.WriteTo(&sb)
+	for _, want := range []string{
+		"mfc_run_experiments_finished_total 1",
+		"mfc_run_experiment_errors_total 1",
+	} {
+		if !strings.Contains(sb.String(), want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteTo renders the registry in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, children sorted by label
+// values, HELP text and label values escaped per the format. The bytes are
+// a deterministic function of the registry state.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeFamily(cw, r.families[name])
+		if cw.err != nil {
+			break
+		}
+	}
+	r.mu.RUnlock()
+	if cw.err == nil {
+		cw.err = bw.Flush()
+	}
+	return cw.n, cw.err
+}
+
+// ServeHTTP serves the exposition — mount the registry at /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WriteTo(w)
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) WriteString(s string) {
+	if c.err != nil {
+		return
+	}
+	n, err := io.WriteString(c.w, s)
+	c.n += int64(n)
+	c.err = err
+}
+
+func writeFamily(w *countingWriter, f *family) {
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteString(" ")
+		w.WriteString(escapeHelp(f.help))
+		w.WriteString("\n")
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteString(" ")
+	w.WriteString(f.typ.String())
+	w.WriteString("\n")
+
+	f.mu.Lock()
+	keys := f.sortedKeys()
+	children := make([]*child, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.Unlock()
+
+	for _, c := range children {
+		switch f.typ {
+		case typeHistogram:
+			writeHistogram(w, f, c)
+		default:
+			w.WriteString(f.name)
+			writeLabels(w, f.labels, c.labelValues, "")
+			w.WriteString(" ")
+			if c.fn != nil {
+				w.WriteString(formatValue(c.fn()))
+			} else if f.typ == typeCounter {
+				w.WriteString(strconv.FormatInt(c.v.Load(), 10))
+			} else {
+				w.WriteString(formatValue(math.Float64frombits(c.g.Load())))
+			}
+			w.WriteString("\n")
+		}
+	}
+}
+
+func writeHistogram(w *countingWriter, f *family, c *child) {
+	var cum int64
+	for i, ub := range f.buckets {
+		cum += c.bins[i].Load()
+		w.WriteString(f.name)
+		w.WriteString("_bucket")
+		writeLabels(w, f.labels, c.labelValues, formatValue(ub))
+		w.WriteString(" ")
+		w.WriteString(strconv.FormatInt(cum, 10))
+		w.WriteString("\n")
+	}
+	cum += c.bins[len(f.buckets)].Load()
+	w.WriteString(f.name)
+	w.WriteString("_bucket")
+	writeLabels(w, f.labels, c.labelValues, "+Inf")
+	w.WriteString(" ")
+	w.WriteString(strconv.FormatInt(cum, 10))
+	w.WriteString("\n")
+
+	w.WriteString(f.name)
+	w.WriteString("_sum")
+	writeLabels(w, f.labels, c.labelValues, "")
+	w.WriteString(" ")
+	w.WriteString(formatValue(math.Float64frombits(c.sum.Load())))
+	w.WriteString("\n")
+
+	w.WriteString(f.name)
+	w.WriteString("_count")
+	writeLabels(w, f.labels, c.labelValues, "")
+	w.WriteString(" ")
+	w.WriteString(strconv.FormatInt(cum, 10))
+	w.WriteString("\n")
+}
+
+// writeLabels renders {name="value",...}; le, when non-empty, is appended
+// as the histogram bucket bound label.
+func writeLabels(w *countingWriter, names, values []string, le string) {
+	if len(names) == 0 && le == "" {
+		return
+	}
+	w.WriteString("{")
+	for i, name := range names {
+		if i > 0 {
+			w.WriteString(",")
+		}
+		w.WriteString(name)
+		w.WriteString("=\"")
+		w.WriteString(escapeLabel(values[i]))
+		w.WriteString("\"")
+	}
+	if le != "" {
+		if len(names) > 0 {
+			w.WriteString(",")
+		}
+		w.WriteString("le=\"")
+		w.WriteString(le)
+		w.WriteString("\"")
+	}
+	w.WriteString("}")
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslash, double-quote and newline in label values.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value: integers as integers (scrape
+// assertions and humans both read "120", not "1.2e+02"), everything else
+// in Go's shortest-roundtrip form, infinities in Prometheus spelling.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

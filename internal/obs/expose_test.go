@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"flag"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry exercising every rendering rule:
+// family ordering by name, child ordering by label values, HELP and
+// label-value escaping, histogram cumulation, integer vs float formatting,
+// and GaugeFunc evaluation.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	// Registered out of name order on purpose — exposition must sort.
+	g := r.GaugeVec("zz_band_pending", "Pending jobs per band.", "band")
+	g.With("web").Set(12)
+	g.With("cdn").Set(0.5) // registered after "web": children must sort too
+	r.Counter("aa_jobs_total", "Jobs with a \\ backslash and\nnewline in help.").Add(120)
+	v := r.CounterVec("mm_events_total", "Events.", "kind", "origin")
+	v.With(`quo"te`, `back\slash`).Inc()
+	v.With("plain", "line\nbreak").Add(3)
+	h := r.Histogram("hh_latency_seconds", "Latency.", []float64{0.025, 0.1, 0.25})
+	h.Observe(0.01)
+	h.Observe(0.1)
+	h.Observe(0.3)
+	r.GaugeFunc("ff_live", "Scrape-time value.", func() float64 { return 2.5 })
+	return r
+}
+
+func TestExpositionGolden(t *testing.T) {
+	var sb strings.Builder
+	n, err := goldenRegistry().WriteTo(&sb)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(sb.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, sb.Len())
+	}
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("exposition differs from golden:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// The exposition must be byte-identical across renders (deterministic
+// ordering), whatever the insertion order was.
+func TestExpositionDeterministic(t *testing.T) {
+	r := goldenRegistry()
+	var a, b strings.Builder
+	r.WriteTo(&a)
+	r.WriteTo(&b)
+	if a.String() != b.String() {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	rec := httptest.NewRecorder()
+	goldenRegistry().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "# TYPE aa_jobs_total counter\n") {
+		t.Errorf("body missing TYPE line:\n%s", rec.Body.String())
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{120, "120"},
+		{-7, "-7"},
+		{0.5, "0.5"},
+		{1e15, "1e+15"}, // too big for safe integer rendering
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{math.NaN(), "NaN"},
+	}
+	for _, c := range cases {
+		if got := formatValue(c.v); got != c.want {
+			t.Errorf("formatValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

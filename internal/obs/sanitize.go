@@ -1,0 +1,64 @@
+package obs
+
+// Prometheus name grammar: metric names match [a-zA-Z_:][a-zA-Z0-9_:]*,
+// label names [a-zA-Z_][a-zA-Z0-9_]*. The sanitizers map arbitrary strings
+// into those alphabets (invalid runes become '_'), so dynamically derived
+// names — band labels, scenario names — can never produce an unparseable
+// exposition. Both are idempotent and never return an empty string; the
+// fuzz target locks those properties in.
+
+// SanitizeMetricName maps s into the metric-name alphabet.
+func SanitizeMetricName(s string) string { return sanitize(s, true) }
+
+// SanitizeLabelName maps s into the label-name alphabet. Label names
+// beginning with "__" are reserved by Prometheus, so a leading "__" is
+// rewritten to "_u_".
+func SanitizeLabelName(s string) string {
+	out := sanitize(s, false)
+	if len(out) >= 2 && out[0] == '_' && out[1] == '_' {
+		out = "_u" + out[1:]
+	}
+	return out
+}
+
+func sanitize(s string, allowColon bool) string {
+	if s == "" {
+		return "_"
+	}
+	// Fast path: already valid (the common case for compiled-in names).
+	valid := true
+	for i := 0; i < len(s); i++ {
+		if !nameByte(s[i], i == 0, allowColon) {
+			valid = false
+			break
+		}
+	}
+	if valid {
+		return s
+	}
+	b := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		if nameByte(s[i], i == 0, allowColon) {
+			b[i] = s[i]
+		} else {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// nameByte reports whether c is valid at the given position. Multi-byte
+// UTF-8 sequences fail the per-byte test (high bit set), so every non-ASCII
+// rune is replaced byte by byte — output is always pure ASCII.
+func nameByte(c byte, first, allowColon bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+		return true
+	case c == ':':
+		return allowColon
+	case c >= '0' && c <= '9':
+		return !first
+	default:
+		return false
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+import "testing"
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"mfc_jobs_total", "mfc_jobs_total"},
+		{"mfc:recording:rule", "mfc:recording:rule"},
+		{"", "_"},
+		{"9lives", "_lives"},
+		{"band a/b", "band_a_b"},
+		{"naïve", "na__ve"}, // ï is two UTF-8 bytes, each replaced
+		{"loss 5%", "loss_5_"},
+	}
+	for _, c := range cases {
+		if got := SanitizeMetricName(c.in); got != c.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSanitizeLabelName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"band", "band"},
+		{"a:b", "a_b"}, // colon is metric-only
+		{"__reserved", "_u_reserved"},
+		{"", "_"},
+		{"0x", "_x"},
+	}
+	for _, c := range cases {
+		if got := SanitizeLabelName(c.in); got != c.want {
+			t.Errorf("SanitizeLabelName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !nameByte(s[i], i == 0, true) {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !nameByte(s[i], i == 0, false) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzSanitizeMetricName locks in the sanitizer's contract: the output is
+// always a valid, non-empty metric name, the function is idempotent, and
+// already-valid input passes through unchanged.
+func FuzzSanitizeMetricName(f *testing.F) {
+	for _, seed := range []string{
+		"", "mfc_jobs_total", "a:b", "9", "__x", "band a/b", "naïve",
+		"\x00\xff", "0123456789", "UPPER_case:ok",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out := SanitizeMetricName(s)
+		if !validMetricName(out) {
+			t.Fatalf("SanitizeMetricName(%q) = %q: not a valid metric name", s, out)
+		}
+		if again := SanitizeMetricName(out); again != out {
+			t.Fatalf("not idempotent: %q -> %q -> %q", s, out, again)
+		}
+		if validMetricName(s) && out != s {
+			t.Fatalf("valid input %q rewritten to %q", s, out)
+		}
+	})
+}
+
+// FuzzSanitizeLabelName adds the label-only rules: no colon, and no
+// reserved "__" prefix in the output.
+func FuzzSanitizeLabelName(f *testing.F) {
+	for _, seed := range []string{
+		"", "band", "a:b", "__name__", "_x", "9lives", "sc nario", "\xc3\xaf",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out := SanitizeLabelName(s)
+		if !validLabelName(out) {
+			t.Fatalf("SanitizeLabelName(%q) = %q: not a valid label name", s, out)
+		}
+		if len(out) >= 2 && out[0] == '_' && out[1] == '_' {
+			t.Fatalf("SanitizeLabelName(%q) = %q: reserved __ prefix", s, out)
+		}
+		if again := SanitizeLabelName(out); again != out {
+			t.Fatalf("not idempotent: %q -> %q -> %q", s, out, again)
+		}
+	})
+}
