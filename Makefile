@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-short bench-check experiments fuzz campaign-smoke campaign-dist-smoke chaos-smoke metrics-smoke api apicheck ci
+.PHONY: build test race vet fmt-check bench bench-short bench-check experiments fuzz campaign-smoke campaign-dist-smoke chaos-smoke metrics-smoke serve-smoke api apicheck ci
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 # DES kernel it drives, the coordinator (event stream + cancellation), and
 # the experiments/campaign layers that fan out on it.
 race:
-	$(GO) test -race ./internal/runner ./internal/netsim ./internal/core ./internal/scenario ./internal/experiments ./internal/campaign ./internal/campaign/dist ./internal/campaign/dist/lease ./internal/obs
+	$(GO) test -race ./internal/runner ./internal/netsim ./internal/core ./internal/scenario ./internal/experiments ./internal/campaign ./internal/campaign/dist ./internal/campaign/dist/lease ./internal/campaign/serve ./internal/obs
 
 # API-surface lock: api.txt is the checked-in `go doc -all` of the public
 # package. `make api` regenerates it after an intentional API change;
@@ -151,4 +151,37 @@ metrics-smoke:
 		{ echo "metrics drift: /metrics store $$mdone/$$mtotal vs report $$rdone/$$rtotal"; exit 1; }; \
 	echo "scraped /metrics store counters ($$mdone/$$mtotal) match the report header"
 
-ci: build vet fmt-check apicheck test race chaos-smoke campaign-dist-smoke metrics-smoke
+# Networked smoke, the same sequence CI runs: a control plane owns the
+# plan and the store, three workers join it over plain HTTP (no shared
+# filesystem — they know only the address), one is killed -9 mid-shard;
+# after the grant TTL its shard is re-granted to a survivor under a
+# bumped fence token, and the merged report must be byte-identical to
+# the single-process run.
+serve-smoke:
+	$(GO) build -o /tmp/mfc-campaign ./cmd/mfc-campaign
+	rm -rf /tmp/camp-serve-base /tmp/camp-serve /tmp/camp-serve.log
+	/tmp/mfc-campaign plan -dir /tmp/camp-serve-base -bands rank-1K-10K -stages base,query -sites 100 -seed 17 -shard-jobs 16
+	/tmp/mfc-campaign run -dir /tmp/camp-serve-base -quiet
+	/tmp/mfc-campaign report -dir /tmp/camp-serve-base > /tmp/camp-serve-base.txt
+	/tmp/mfc-campaign plan -dir /tmp/camp-serve -bands rank-1K-10K -stages base,query -sites 100 -seed 17 -shard-jobs 16
+	@set -e; \
+	/tmp/mfc-campaign serve -dir /tmp/camp-serve -listen 127.0.0.1:0 -ttl 2s 2>/tmp/camp-serve.log & SRV=$$!; \
+	addr=""; \
+	until [ -n "$$addr" ]; do \
+		addr=$$(sed -n 's,^campaign control plane on http://\([^/]*\)/.*,\1,p' /tmp/camp-serve.log 2>/dev/null); \
+		sleep 0.05; \
+	done; \
+	/tmp/mfc-campaign work -join $$addr -owner w1 -quiet & W1=$$!; \
+	/tmp/mfc-campaign work -join $$addr -owner w2 -quiet & W2=$$!; \
+	/tmp/mfc-campaign work -join $$addr -owner w3 -quiet & W3=$$!; \
+	until [ -n "$$(ls -A /tmp/camp-serve/shards 2>/dev/null)" ]; do sleep 0.05; done; \
+	kill -9 $$W1 2>/dev/null || true; \
+	wait $$W2; wait $$W3; wait $$W1 || true; \
+	curl -s "http://$$addr/api/status" | grep -q '"complete":true' || \
+		{ echo "control plane does not report completion"; curl -s "http://$$addr/api/status"; exit 1; }; \
+	curl -s -X POST "http://$$addr/quit" > /dev/null; wait $$SRV
+	/tmp/mfc-campaign report -dir /tmp/camp-serve > /tmp/camp-serve.txt
+	diff /tmp/camp-serve-base.txt /tmp/camp-serve.txt
+	@echo "networked kill -9 + re-grant report is byte-identical"
+
+ci: build vet fmt-check apicheck test race chaos-smoke campaign-dist-smoke metrics-smoke serve-smoke

@@ -8,7 +8,8 @@
 //	mfc-campaign plan   -dir DIR -bands all|b1,b2 -stages base,query,large [-scenarios s1,s2] -sites N [-seed S] [-name NAME]
 //	mfc-campaign run    -dir DIR [-workers N] [-halt-after N] [-quiet] [-metrics :9090]
 //	mfc-campaign resume -dir DIR [-workers N] [-quiet] [-metrics :9090]
-//	mfc-campaign work   -dir DIR [-workers N] [-owner ID] [-ttl D] [-poll D] [-halt-after N] [-quiet] [-metrics :9090]
+//	mfc-campaign work   -dir DIR | -join ADDR [-workers N] [-owner ID] [-ttl D] [-poll D] [-halt-after N] [-quiet] [-metrics :9090]
+//	mfc-campaign serve  -dir DIR -listen ADDR [-ttl D] [-until-done]
 //	mfc-campaign report -dir DIR [-dir DIR ...]
 //	mfc-campaign merge  -out DIR -dir DIR [-dir DIR ...]
 //
@@ -28,6 +29,13 @@
 // processes (on one host, or on many over a shared filesystem) claim
 // disjoint result shards via crash-safe leases, survive kill -9 of any
 // worker through stale-lease takeover, and append to the same store.
+// `serve` lifts the same protocol onto HTTP: one control plane owns the
+// plan and the store, and workers on any host join it with `work -join
+// ADDR` — no shared filesystem — receiving work grants that carry a
+// fence token (the shard lease's generation), heartbeating them, and
+// uploading records as they complete. Workers that stop heartbeating are
+// presumed dead and their shards re-granted; a fenced worker's late
+// uploads are refused with 410.
 // `report` merges one or many stores of the same plan; `merge` writes the
 // consolidated store to a fresh directory. However the jobs were split,
 // killed or resumed, the report is byte-identical to an uninterrupted
@@ -39,14 +47,16 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"mfc/internal/campaign"
 	"mfc/internal/campaign/dist"
+	"mfc/internal/campaign/serve"
 	"mfc/internal/core"
 	"mfc/internal/obs"
 	"mfc/internal/population"
@@ -68,6 +78,8 @@ func main() {
 		err = cmdRun(os.Args[2:], true)
 	case "work":
 		err = cmdWork(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
 	case "merge":
@@ -91,7 +103,8 @@ func usage() {
   mfc-campaign plan   -dir DIR -bands all|b1,b2,... -stages base,query,large [-scenarios s1,s2,...] -sites N [-seed S] [-name NAME] [-shard-jobs N]
   mfc-campaign run    -dir DIR [-workers N] [-halt-after N] [-quiet] [-metrics ADDR [-metrics-hold D]]
   mfc-campaign resume -dir DIR [-workers N] [-quiet] [-metrics ADDR [-metrics-hold D]]
-  mfc-campaign work   -dir DIR [-workers N] [-owner ID] [-ttl D] [-poll D] [-halt-after N] [-quiet] [-metrics ADDR [-metrics-hold D]]
+  mfc-campaign work   -dir DIR | -join ADDR [-workers N] [-owner ID] [-ttl D] [-poll D] [-halt-after N] [-quiet] [-metrics ADDR [-metrics-hold D]]
+  mfc-campaign serve  -dir DIR -listen ADDR [-ttl D] [-until-done]
   mfc-campaign report -dir DIR [-dir DIR ...]
   mfc-campaign merge  -out DIR -dir DIR [-dir DIR ...]
 
@@ -102,6 +115,12 @@ keeps it up that long afterwards (POST /quit releases early).
 work runs one distributed worker: start any number of them on the same
 campaign dir (shared filesystem included); they lease disjoint result
 shards, take over shards of crashed peers, and checkpoint independently.
+work -join ADDR joins a control plane over HTTP instead — no shared
+filesystem — receiving fenced work grants and uploading records.
+serve runs that control plane: it owns the plan and the store, grants
+shards to joining workers, re-grants the shards of workers that stop
+heartbeating, and serves the dashboard on the same listener; -until-done
+exits once every job has a record.
 report over several -dir flags merges stores of one plan; merge writes
 the consolidated store to -out.
 
@@ -279,25 +298,30 @@ func cmdRun(args []string, resume bool) error {
 	return nil
 }
 
-// cmdWork runs one distributed worker against the campaign: it claims
-// free result shards by lease, runs their pending jobs, takes over stale
-// leases of crashed peers, and polls while live peers hold the rest.
+// cmdWork runs one distributed worker against the campaign: with -dir it
+// claims free result shards by lease over the shared filesystem; with
+// -join it receives fenced work grants from a control plane over HTTP and
+// uploads records, sharing no filesystem with the plan.
 func cmdWork(args []string) error {
 	fs := flag.NewFlagSet("work", flag.ExitOnError)
 	var (
 		dir         = fs.String("dir", "", "campaign directory (must hold plan.json)")
+		join        = fs.String("join", "", "control plane address (host:port or URL) to join over HTTP instead of -dir")
 		workers     = fs.Int("workers", 0, "per-shard measurement pool bound (0 = GOMAXPROCS)")
 		owner       = fs.String("owner", "", "worker id in lease files (default: host-pid-seq; must be unique per worker)")
-		ttl         = fs.Duration("ttl", 0, "lease staleness bound (default 15s)")
-		poll        = fs.Duration("poll", 0, "wait between passes when peers hold all pending shards (default 2s)")
+		ttl         = fs.Duration("ttl", 0, "lease staleness bound (default 15s; -join workers inherit the server's)")
+		poll        = fs.Duration("poll", 0, "base wait when peers hold all pending work; idle waits back off with jitter (default 2s)")
 		haltAfter   = fs.Int("halt-after", 0, "stop cleanly after N new completions (testing/CI)")
 		quiet       = fs.Bool("quiet", false, "suppress the live progress line")
 		metrics     = fs.String("metrics", "", "serve /metrics, /progress, /debug/pprof and the HTML dashboard on this address (e.g. :9090 or :0)")
 		metricsHold = fs.Duration("metrics-hold", 0, "keep the -metrics server up this long after this worker ends (POST /quit releases early)")
 	)
 	fs.Parse(args)
-	if *dir == "" {
-		return fmt.Errorf("work: -dir is required")
+	if (*dir == "") == (*join == "") {
+		return fmt.Errorf("work: exactly one of -dir or -join is required")
+	}
+	if *join != "" && *metrics != "" {
+		return fmt.Errorf("work: -metrics needs the result store; with -join, scrape the control plane's listener instead")
 	}
 
 	mon, err := startMonitor(*dir, *metrics, *metricsHold, *quiet)
@@ -313,7 +337,12 @@ func cmdWork(args []string) error {
 		opts.OnClaim = mon.onClaim
 		opts.OnShardDone = mon.onShardDone
 	}
-	st, err := dist.Work(context.Background(), *dir, opts)
+	var st *dist.WorkStatus
+	if *join != "" {
+		st, err = dist.WorkRemote(context.Background(), *join, opts)
+	} else {
+		st, err = dist.Work(context.Background(), *dir, opts)
+	}
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
 	}
@@ -327,6 +356,66 @@ func cmdWork(args []string) error {
 	}
 	fmt.Printf("%s (%s): %d jobs measured (%d errored) over %d shards claimed (%d takeovers, %d sealed, %d fenced)\n",
 		verb, st.Owner, st.NewlyDone, st.Errored, st.ShardsClaimed, st.Takeovers, st.ShardsFinished, st.Fenced)
+	return nil
+}
+
+// cmdServe runs the campaign control plane: it owns the plan and the
+// result store, grants shards to workers joining with `work -join`, and
+// serves the dashboard on the same listener.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		dir       = fs.String("dir", "", "campaign directory (must hold plan.json)")
+		listen    = fs.String("listen", "", "listen address for the control plane + dashboard (e.g. :8080 or 127.0.0.1:0)")
+		ttl       = fs.Duration("ttl", 0, "grant staleness bound: a worker silent this long is presumed dead and its shard re-granted (default 15s)")
+		untilDone = fs.Bool("until-done", false, "exit once every job in the plan has a record (CI/batch mode)")
+	)
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("serve: -dir is required")
+	}
+	if *listen == "" {
+		return fmt.Errorf("serve: -listen is required")
+	}
+
+	srv, err := serve.New(*dir, serve.Options{TTL: *ttl})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "campaign control plane on http://%s/ (plan %q: %d/%d jobs done)\n",
+		ln.Addr(), srv.Plan().Name, srv.Status().Done, srv.Plan().Jobs())
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *untilDone {
+		go func() {
+			select {
+			case <-srv.Complete():
+			case <-srv.WaitQuit():
+			case <-ctx.Done():
+			}
+			cancel()
+		}()
+	} else {
+		go func() {
+			select {
+			case <-srv.WaitQuit():
+			case <-ctx.Done():
+			}
+			cancel()
+		}()
+	}
+	if err := campaign.ServeUntil(ctx, ln, srv.Handler()); err != nil {
+		return err
+	}
+	st := srv.Status()
+	fmt.Printf("control plane done: %d/%d jobs stored (%d grants, %d regrants, %d fenced requests, %d records ingested)\n",
+		st.Done, st.Total, st.Grants, st.Regrants, st.Fenced, st.Records)
 	return nil
 }
 
@@ -366,9 +455,10 @@ type liveMonitor struct {
 	// Throttle for the terminal line: ~10 lines/sec, final always prints.
 	lastLine atomic.Int64
 
-	srv  *http.Server
-	dash *campaign.Dash
-	hold time.Duration
+	dash    *campaign.Dash
+	stop    context.CancelFunc
+	srvDone chan error
+	hold    time.Duration
 }
 
 // startMonitor builds the Tracker and, when addr is non-empty, starts the
@@ -388,8 +478,10 @@ func startMonitor(dir, addr string, hold time.Duration, quiet bool) (*liveMonito
 			return nil, fmt.Errorf("-metrics: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "serving metrics/dashboard on http://%s/\n", ln.Addr())
-		m.srv = &http.Server{Handler: m.dash.Handler()}
-		go m.srv.Serve(ln)
+		var ctx context.Context
+		ctx, m.stop = context.WithCancel(context.Background())
+		m.srvDone = make(chan error, 1)
+		go func() { m.srvDone <- m.dash.Serve(ctx, ln) }()
 	}
 	return m, nil
 }
@@ -414,11 +506,12 @@ func (m *liveMonitor) onEvent(ev campaign.SiteEvent) {
 	fmt.Fprint(os.Stderr, m.tr.Line())
 }
 
-// close shuts the dashboard down. With -metrics-hold the server stays up
-// after the campaign ends — so a scraper can read the terminal counter
-// values — until the hold elapses or something POSTs /quit.
+// close shuts the dashboard down via http.Server.Shutdown (no abandoned
+// listener goroutine). With -metrics-hold the server stays up after the
+// campaign ends — so a scraper can read the terminal counter values —
+// until the hold elapses or something POSTs /quit.
 func (m *liveMonitor) close() {
-	if m.srv == nil {
+	if m.stop == nil {
 		return
 	}
 	if m.hold > 0 {
@@ -428,7 +521,8 @@ func (m *liveMonitor) close() {
 		case <-m.dash.WaitQuit():
 		}
 	}
-	m.srv.Close()
+	m.stop()
+	<-m.srvDone
 }
 
 func cmdReport(args []string) error {

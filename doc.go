@@ -56,8 +56,14 @@
 // disjoint result shards via crash-safe leases and survive kill -9 of any
 // peer), and aggregate with `report` over one or many result stores or
 // `merge` into a consolidated one; the report is byte-identical however
-// the jobs were split, killed or resumed. See DESIGN.md "Distributed
-// campaigns".
+// the jobs were split, killed or resumed. Fleets without a shared
+// filesystem run `serve`, an HTTP control plane owning the plan and the
+// store, and join it from anywhere with `work -join ADDR`: workers
+// receive fenced work grants (the shard lease's generation travels as
+// the fence token), heartbeat them, and upload records as they
+// complete; a worker silent past the TTL has its shard re-granted and
+// its late requests refused with 410 Gone. See DESIGN.md "Distributed
+// campaigns" and "Networked campaigns".
 //
 // # Observability
 //

@@ -1,7 +1,9 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
@@ -106,6 +108,36 @@ func (d *Dash) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", d.serveIndex)
 	return mux
+}
+
+// Serve serves the dashboard on ln until ctx is canceled, then shuts the
+// server down and returns. It is the context-aware replacement for the
+// old "go srv.Serve(ln); ...; srv.Close()" pattern, which abandoned the
+// listener goroutine mid-accept and leaked it (visible under -race in
+// tests and on -metrics-hold exits).
+func (d *Dash) Serve(ctx context.Context, ln net.Listener) error {
+	return ServeUntil(ctx, ln, d.Handler())
+}
+
+// ServeUntil runs an http.Server for h on ln until ctx is canceled, then
+// drains it via http.Server.Shutdown (bounded by a short grace period)
+// and waits for the serve goroutine to exit, so no goroutine outlives the
+// call. A clean shutdown returns nil; an accept failure returns the
+// server error.
+func ServeUntil(ctx context.Context, ln net.Listener, h http.Handler) error {
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // the listener died on its own; nothing to shut down
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	<-errc // always http.ErrServerClosed after Shutdown
+	return err
 }
 
 // progressDoc is the /progress body: the session snapshot plus the

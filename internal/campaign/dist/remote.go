@@ -1,0 +1,324 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mfc/internal/campaign"
+	"mfc/internal/campaign/dist/lease"
+	"mfc/internal/campaign/serve"
+	"mfc/internal/runner"
+)
+
+// WorkRemote runs one networked worker against a control plane started
+// with `mfc-campaign serve`: it fetches the plan over HTTP, asks for work
+// grants, measures each granted job through the same deterministic
+// campaign.Measure path every other mode uses, and uploads records as
+// they complete — no filesystem is shared with the plan. The grant's
+// fence token (the server-side lease generation) travels with every
+// heartbeat and upload; a 410 from the server means the shard was
+// re-granted to a successor and this worker abandons it, exactly like a
+// filesystem worker losing its lease. Status semantics match Work:
+// WorkRemote returns when the server reports the campaign complete, ctx
+// is canceled, or HaltAfter trips.
+func WorkRemote(ctx context.Context, addr string, opts WorkOptions) (*WorkStatus, error) {
+	if opts.Owner == "" {
+		opts.Owner = lease.DefaultOwner()
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 2 * time.Second
+	}
+	rc := &remoteClient{
+		base: normalizeAddr(addr),
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+
+	var plan campaign.Plan
+	if err := rc.get(ctx, "/api/plan", &plan); err != nil {
+		return nil, fmt.Errorf("dist: joining %s: %w", addr, err)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("dist: control plane sent an invalid plan: %w", err)
+	}
+
+	st := &WorkStatus{Owner: opts.Owner, Total: plan.Jobs()}
+	w := &remoteWorker{plan: &plan, rc: rc, opts: opts, st: st}
+
+	if opts.OnStart != nil {
+		var status serve.StatusDoc
+		if err := rc.get(ctx, "/api/status", &status); err != nil {
+			return nil, err
+		}
+		// Band-level pending is unknown to a remote worker (it never scans
+		// the store); the totals still anchor progress and ETA.
+		opts.OnStart(campaign.StartInfo{Total: plan.Jobs(), AlreadyDone: status.Done})
+	}
+
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	w.cancelAll = cancel
+
+	err := w.loop(jobCtx)
+	st.NewlyDone = int(w.newly.Load())
+	st.Errored = int(w.errored.Load())
+	if err != nil {
+		if errors.Is(err, context.Canceled) && ctx.Err() == nil &&
+			opts.HaltAfter > 0 && st.NewlyDone >= opts.HaltAfter {
+			st.Halted = true
+			return st, nil
+		}
+		return st, err
+	}
+	return st, nil
+}
+
+// normalizeAddr turns "host:port" into a base URL.
+func normalizeAddr(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// remoteClient is a minimal JSON-over-HTTP client for the serve protocol.
+type remoteClient struct {
+	base string
+	hc   *http.Client
+}
+
+// errRemoteFenced reports a 410 from the control plane: the fence token
+// is stale and the bearer must abandon its shard.
+var errRemoteFenced = errors.New("dist: fenced by control plane (shard was re-granted)")
+
+func (rc *remoteClient) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rc.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rc.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: GET %s: %s", path, readError(resp))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// post sends body as JSON. A 410 maps to errRemoteFenced; other non-2xx
+// statuses are errors. out may be nil for 204 endpoints.
+func (rc *remoteClient) post(ctx context.Context, path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rc.base+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rc.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusGone:
+		return errRemoteFenced
+	case resp.StatusCode >= 300:
+		return fmt.Errorf("dist: POST %s: %s", path, readError(resp))
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+func readError(resp *http.Response) string {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Sprintf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+}
+
+// remoteWorker drives grant -> measure -> upload -> seal until complete.
+type remoteWorker struct {
+	plan *campaign.Plan
+	rc   *remoteClient
+	opts WorkOptions
+	st   *WorkStatus
+
+	cancelAll context.CancelFunc
+	newly     atomic.Int64
+	errored   atomic.Int64
+}
+
+func (w *remoteWorker) loop(ctx context.Context) error {
+	idle := newBackoff(w.opts.Poll, w.opts.Owner)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var g serve.GrantDoc
+		if err := w.rc.post(ctx, "/api/grant", serve.GrantRequest{Owner: w.opts.Owner}, &g); err != nil {
+			return err
+		}
+		switch {
+		case g.Complete:
+			return nil
+		case g.Wait:
+			// Every pending shard is granted to a live peer: back off with
+			// jitter so a waiting fleet doesn't hammer the control plane.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(idle.next()):
+			}
+			continue
+		}
+		idle.reset()
+		if err := w.runGrant(ctx, g); err != nil {
+			return err
+		}
+	}
+}
+
+// runGrant measures and uploads one grant's jobs, heartbeating under the
+// fence token; a 410 anywhere abandons the shard (the successor owns it).
+func (w *remoteWorker) runGrant(ctx context.Context, g serve.GrantDoc) error {
+	w.st.ShardsClaimed++
+	if g.Gen > 1 {
+		w.st.Takeovers++
+	}
+	if w.opts.OnClaim != nil {
+		w.opts.OnClaim(g.Shard)
+	}
+	ref := serve.ShardRef{Owner: w.opts.Owner, Shard: g.Shard, Gen: g.Gen}
+
+	shardCtx, cancelShard := context.WithCancelCause(ctx)
+	ttl := g.TTL()
+	if ttl <= 0 {
+		ttl = lease.DefaultTTL
+	}
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				// Only a definitive 410 fences the shard; a transport error
+				// or server hiccup skips a beat and retries next tick. If
+				// the outage outlasts the TTL the server reaps the grant,
+				// and the next beat's 410 lands here anyway.
+				err := w.rc.post(shardCtx, "/api/heartbeat", ref, nil)
+				if errors.Is(err, errRemoteFenced) {
+					cancelShard(errRemoteFenced)
+					return
+				}
+			}
+		}
+	}()
+
+	before := w.newly.Load()
+	runErr := w.runJobs(shardCtx, ref, g.Jobs)
+	close(hbStop)
+	hbWG.Wait()
+	cause := context.Cause(shardCtx)
+	cancelShard(nil)
+
+	fenced := errors.Is(cause, errRemoteFenced) || errors.Is(runErr, errRemoteFenced)
+	if fenced {
+		w.st.Fenced++
+		runErr = nil
+	}
+	if runErr == nil && !fenced && ctx.Err() == nil {
+		// Seal: a 410 means a successor raced us past the finish line; the
+		// records are all uploaded, so the outcome is identical.
+		err := w.rc.post(ctx, "/api/done", ref, nil)
+		switch {
+		case errors.Is(err, errRemoteFenced):
+			w.st.Fenced++
+		case err != nil:
+			runErr = err
+		default:
+			w.st.ShardsFinished++
+		}
+	}
+	if w.opts.OnShardDone != nil {
+		w.opts.OnShardDone(g.Shard, int(w.newly.Load()-before))
+	}
+	if runErr != nil {
+		return runErr
+	}
+	return nil
+}
+
+// runJobs measures the granted jobs on the shared pool, uploading each
+// record as it completes — the loss window on a kill -9 is one in-flight
+// job per pool worker, the same as the filesystem path's append window.
+func (w *remoteWorker) runJobs(ctx context.Context, ref serve.ShardRef, jobs []int) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	onSite := func(ev campaign.SiteEvent) {
+		if w.opts.OnEvent != nil {
+			w.opts.OnEvent(ev)
+		}
+		if !ev.Terminal() {
+			return
+		}
+		n := w.newly.Add(1)
+		if w.opts.Progress != nil {
+			w.opts.Progress(int(n), w.st.Total)
+		}
+		if w.opts.HaltAfter > 0 && int(n) >= w.opts.HaltAfter {
+			w.cancelAll()
+		}
+	}
+	return runner.ForEach(ctx, len(jobs), func(jctx context.Context, i int) error {
+		rec := campaign.Measure(w.plan, jobs[i], onSite)
+		if err := w.upload(jctx, ref, rec); err != nil {
+			return err
+		}
+		if rec.Err != "" {
+			w.errored.Add(1)
+		}
+		return nil
+	}, runner.Workers(w.opts.Workers), runner.Shared())
+}
+
+// upload posts one record, retrying transient failures briefly; a 410 is
+// terminal (fenced), as is persistent transport failure.
+func (w *remoteWorker) upload(ctx context.Context, ref serve.ShardRef, rec *campaign.Record) error {
+	req := serve.IngestRequest{Owner: ref.Owner, Shard: ref.Shard, Gen: ref.Gen,
+		Records: []campaign.Record{*rec}}
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Duration(attempt) * 500 * time.Millisecond):
+			}
+		}
+		err = w.rc.post(ctx, "/api/records", req, nil)
+		if err == nil || errors.Is(err, errRemoteFenced) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("dist: uploading job %d: %w", rec.Job, err)
+}

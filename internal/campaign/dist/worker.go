@@ -44,8 +44,11 @@ type WorkOptions struct {
 	// worker heartbeats every TTL/3; a peer whose heartbeat is older than
 	// TTL — or whose pid is dead on this host — is taken over.
 	TTL time.Duration
-	// Poll is how long to wait between passes when every pending shard is
-	// leased by a live peer (default 2s).
+	// Poll is the base wait between passes when every pending shard is
+	// leased by a live peer (default 2s). Idle waits back off
+	// exponentially from Poll to 16×Poll with jitter, so a waiting fleet
+	// does not poll the store — or the control plane, in networked mode —
+	// in lockstep.
 	Poll time.Duration
 	// HaltAfter stops claiming new jobs once this many sites finished in
 	// this session (0 = run to completion); the in-flight shard is
@@ -172,8 +175,10 @@ type worker struct {
 
 // loop makes passes over the shards until nothing is pending, claiming
 // every free pending shard it meets. When a pass finds pending shards but
-// every one is leased by a live peer, it sleeps Poll and tries again — a
-// peer may finish, halt, or die and go stale.
+// every one is leased by a live peer, it waits and tries again — a peer
+// may finish, halt, or die and go stale. The wait starts at Poll and
+// backs off exponentially with jitter (see backoff) so an idle fleet
+// doesn't rescan the store directory in lockstep.
 func (w *worker) loop(ctx context.Context) error {
 	shards := w.plan.Shards()
 	// Start each worker's scan at a different shard (hashed from the
@@ -185,6 +190,7 @@ func (w *worker) loop(ctx context.Context) error {
 	if start < 0 {
 		start += shards
 	}
+	idle := newBackoff(w.opts.Poll, w.opts.Owner)
 
 	for {
 		if err := ctx.Err(); err != nil {
@@ -220,8 +226,10 @@ func (w *worker) loop(ctx context.Context) error {
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(w.opts.Poll):
+			case <-time.After(idle.next()):
 			}
+		} else {
+			idle.reset()
 		}
 	}
 }

@@ -1,0 +1,576 @@
+// Package serve is the campaign's networked control plane: one process
+// owns the plan and the result store, and any number of workers join over
+// plain HTTP — no shared filesystem — with `mfc-campaign work -join`.
+//
+// The server hands out work as grants. A grant is one result shard's
+// pending jobs plus a fence token: the generation of the shard's lease
+// file, acquired server-side in the worker's name (the same crash-safe
+// lease the filesystem workers use, so the arbitration rules — and their
+// tests — are shared). Workers heartbeat their grant; a worker silent for
+// a full TTL is presumed dead, its grant is forgotten, and the next grant
+// of that shard re-acquires the now-stale lease, bumping the generation.
+// Every later request bearing the old token — heartbeat, record upload,
+// seal — is refused with 410 Gone, which is how a wedged-but-alive worker
+// learns it was fenced.
+//
+// Correctness never rests on the grants. Every record is a pure function
+// of (plan, job index) and the report fold dedupes by job, so a
+// duplicated grant — a fenced worker racing its successor, a replayed
+// upload, a cloned worker id — can only waste work, never change a byte
+// of the merged report. The grant machinery exists to make duplication
+// rare and completion prompt, not to make results correct.
+//
+// The control plane mounts the campaign dashboard (campaign.Dash) on the
+// same listener, so /metrics, /progress, /dashboard.json and the HTML
+// view describe the fleet from the one process that sees every record.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"mfc/internal/campaign"
+	"mfc/internal/campaign/dist/lease"
+	"mfc/internal/core"
+	"mfc/internal/obs"
+)
+
+// Wire types. The protocol is JSON over HTTP:
+//
+//	GET  /api/plan       -> campaign.Plan
+//	GET  /api/status     -> StatusDoc
+//	POST /api/grant      GrantRequest  -> GrantDoc
+//	POST /api/heartbeat  ShardRef      -> 204 | 410
+//	POST /api/records    IngestRequest -> 204 | 410
+//	POST /api/done       ShardRef      -> 204 | 410
+//
+// 410 Gone means the fence token is stale: the shard was re-granted and
+// the bearer must abandon it. Everything else non-2xx is a caller bug
+// (400) or a server that cannot serve (503).
+
+// GrantRequest asks for a work grant. Owner identifies the worker; two
+// workers must never share an owner string (a duplicate owner is treated
+// as a retry of the same worker and receives the same grant).
+type GrantRequest struct {
+	Owner string `json:"owner"`
+}
+
+// GrantDoc is the server's answer to a grant request: a shard's pending
+// jobs plus the fence token, or a wait/complete signal.
+type GrantDoc struct {
+	// Complete: every job in the plan has a record; the worker can exit.
+	Complete bool `json:"complete,omitempty"`
+	// Wait: pending work exists but every pending shard is granted to a
+	// live worker; poll again later (with backoff).
+	Wait bool `json:"wait,omitempty"`
+
+	Shard int   `json:"shard"`
+	Gen   int64 `json:"gen"` // fence token: the shard lease's generation
+	Jobs  []int `json:"jobs,omitempty"`
+	// TTLNanos is the grant's staleness bound: heartbeat well within it
+	// (the worker beats every TTL/3) or be presumed dead and fenced.
+	TTLNanos int64 `json:"ttl_nanos,omitempty"`
+}
+
+// TTL returns the grant's staleness bound as a duration.
+func (g GrantDoc) TTL() time.Duration { return time.Duration(g.TTLNanos) }
+
+// ShardRef identifies a grant in heartbeat and done requests: the owner,
+// the shard, and the fence token the grant carried.
+type ShardRef struct {
+	Owner string `json:"owner"`
+	Shard int    `json:"shard"`
+	Gen   int64  `json:"gen"`
+}
+
+// IngestRequest uploads completed records under a grant's fence token.
+type IngestRequest struct {
+	Owner   string            `json:"owner"`
+	Shard   int               `json:"shard"`
+	Gen     int64             `json:"gen"`
+	Records []campaign.Record `json:"records"`
+}
+
+// StatusDoc is the /api/status snapshot.
+type StatusDoc struct {
+	Plan     string `json:"plan"`
+	Total    int    `json:"total"`
+	Done     int    `json:"done"`
+	Complete bool   `json:"complete"`
+	Workers  int    `json:"workers"` // owners holding an active grant
+	Grants   int64  `json:"grants_total"`
+	Regrants int64  `json:"regrants_total"`
+	Fenced   int64  `json:"fenced_total"`
+	Records  int64  `json:"records_total"`
+}
+
+// Options tunes a control plane.
+type Options struct {
+	// Owner identifies the server in lease files (default: host-pid-seq).
+	Owner string
+	// TTL is the grant staleness bound (default lease.DefaultTTL): a
+	// worker silent this long is presumed dead and its shard re-granted.
+	TTL time.Duration
+	// CheckpointEvery writes the manifest after this many newly ingested
+	// jobs (default 64); the manifest is progress metadata, never
+	// authority, exactly as in the filesystem paths.
+	CheckpointEvery int
+}
+
+// grant is one outstanding shard grant.
+type grant struct {
+	owner    string
+	shard    int
+	gen      int64
+	lk       *lease.Handle
+	lastBeat time.Time
+	jobs     []int
+	newly    int // jobs ingested under this grant
+}
+
+// Server is the campaign control plane. Create with New, mount Handler
+// on a listener (campaign.ServeUntil shuts it down cleanly), Close when
+// done.
+type Server struct {
+	dir      string
+	plan     *campaign.Plan
+	store    *campaign.Store
+	leaseDir string
+	opts     Options
+
+	reg  *obs.Registry
+	tr   *campaign.Tracker
+	dash *campaign.Dash
+
+	now func() time.Time // tests inject a fake clock for reaping
+
+	mu        sync.Mutex
+	done      []bool // job -> has a stored record
+	doneCount int
+	grants    map[int]*grant    // shard -> outstanding grant
+	byOwner   map[string]*grant // owner -> its outstanding grant
+	sinceCkpt int
+	closed    bool
+	lostStore bool // the exclusive store lease was lost; refuse writes
+
+	grantsTotal   obs.Counter
+	regrantsTotal obs.Counter
+	fencedTotal   obs.Counter
+	recordsTotal  obs.Counter
+
+	completeOnce sync.Once
+	complete     chan struct{}
+}
+
+// New opens the campaign in dir as a control plane. It takes the
+// directory's exclusive store lease — a legacy run/resume, filesystem
+// workers, or a second control plane on the same dir fail fast instead of
+// interleaving — and scans the store so a restarted server resumes where
+// the last one stopped (grants die with the process; the scan, as always,
+// is the authority).
+func New(dir string, opts Options) (*Server, error) {
+	plan, err := campaign.LoadPlan(dir)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Owner == "" {
+		opts.Owner = lease.DefaultOwner()
+	}
+	if opts.TTL <= 0 {
+		opts.TTL = lease.DefaultTTL
+	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 64
+	}
+
+	s := &Server{
+		dir:      dir,
+		plan:     plan,
+		leaseDir: campaign.LeasesDir(dir),
+		opts:     opts,
+		now:      time.Now,
+		grants:   make(map[int]*grant),
+		byOwner:  make(map[string]*grant),
+		complete: make(chan struct{}),
+	}
+	store, err := campaign.OpenStoreLocked(dir, plan.ShardJobs, opts.Owner, opts.TTL, func() {
+		s.mu.Lock()
+		s.lostStore = true
+		s.mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.store = store
+
+	completed, err := store.Completed(plan.Jobs())
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	s.done = make([]bool, plan.Jobs())
+	byBand := make(map[string]int)
+	for j := 0; j < plan.Jobs(); j++ {
+		if completed[j] {
+			s.done[j] = true
+			s.doneCount++
+		} else {
+			byBand[plan.Cells[plan.CellOf(j)].Band]++
+		}
+	}
+
+	s.reg = obs.NewRegistry()
+	s.tr = campaign.NewTracker(s.reg)
+	s.tr.Start(campaign.StartInfo{Total: plan.Jobs(), AlreadyDone: s.doneCount, PendingByBand: byBand})
+	s.dash = campaign.NewDash(dir, s.reg, s.tr)
+	s.grantsTotal = s.reg.Counter("mfc_serve_grants_total",
+		"Work grants issued to joining workers.")
+	s.regrantsTotal = s.reg.Counter("mfc_serve_regrants_total",
+		"Grants that re-issued a shard after its worker went silent past the TTL.")
+	s.fencedTotal = s.reg.Counter("mfc_serve_fenced_requests_total",
+		"Requests refused with 410 Gone for carrying a stale fence token.")
+	s.recordsTotal = s.reg.Counter("mfc_serve_records_ingested_total",
+		"Result records ingested over HTTP (duplicates included; the report fold dedupes).")
+	s.reg.GaugeFunc("mfc_serve_workers",
+		"Workers currently holding a grant.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.byOwner))
+		})
+
+	if s.doneCount == plan.Jobs() {
+		s.completeOnce.Do(func() { close(s.complete) })
+	}
+	return s, nil
+}
+
+// Plan returns the campaign plan the server owns.
+func (s *Server) Plan() *campaign.Plan { return s.plan }
+
+// Complete is closed once every job in the plan has a record.
+func (s *Server) Complete() <-chan struct{} { return s.complete }
+
+// Status snapshots the control plane's counters.
+func (s *Server) Status() StatusDoc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StatusDoc{
+		Plan:     s.plan.Name,
+		Total:    s.plan.Jobs(),
+		Done:     s.doneCount,
+		Complete: s.doneCount == s.plan.Jobs(),
+		Workers:  len(s.byOwner),
+		Grants:   s.grantsTotal.Value(),
+		Regrants: s.regrantsTotal.Value(),
+		Fenced:   s.fencedTotal.Value(),
+		Records:  s.recordsTotal.Value(),
+	}
+}
+
+// Close releases every outstanding grant's lease and the store lock.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for shard, g := range s.grants {
+		g.lk.Release()
+		delete(s.grants, shard)
+		delete(s.byOwner, g.owner)
+	}
+	s.mu.Unlock()
+	return s.store.Close()
+}
+
+// errFenced marks a request refused for a stale fence token.
+var errFenced = errors.New("serve: stale fence token (the shard was re-granted)")
+
+// reapLocked forgets grants whose worker has been silent past the TTL.
+// The lease handle is deliberately NOT released: the file ages out on its
+// own (its last heartbeat is the worker's last proof of life), and the
+// next Acquire of the shard takes it over, bumping the generation — which
+// is exactly what fences the presumed-dead worker if it was merely slow.
+func (s *Server) reapLocked() {
+	cutoff := s.now().Add(-s.opts.TTL)
+	for shard, g := range s.grants {
+		if g.lastBeat.Before(cutoff) {
+			delete(s.grants, shard)
+			delete(s.byOwner, g.owner)
+		}
+	}
+}
+
+// shardRange returns shard k's half-open job range [lo, hi).
+func (s *Server) shardRange(k int) (lo, hi int) {
+	lo = k * s.plan.ShardJobs
+	hi = lo + s.plan.ShardJobs
+	if hi > s.plan.Jobs() {
+		hi = s.plan.Jobs()
+	}
+	return lo, hi
+}
+
+// grantFor issues (or re-issues) a grant for the worker named owner.
+func (s *Server) grantFor(owner string) (GrantDoc, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.lostStore {
+		return GrantDoc{}, fmt.Errorf("serve: control plane is shut down or lost its store lease")
+	}
+	s.reapLocked()
+
+	// A retry from a worker that already holds a grant — or a duplicate
+	// worker id — gets the same grant back, not a second shard.
+	if g, ok := s.byOwner[owner]; ok {
+		g.lastBeat = s.now()
+		return GrantDoc{Shard: g.shard, Gen: g.gen, Jobs: g.jobs, TTLNanos: int64(s.opts.TTL)}, nil
+	}
+	if s.doneCount == s.plan.Jobs() {
+		return GrantDoc{Complete: true}, nil
+	}
+
+	for k := 0; k < s.plan.Shards(); k++ {
+		if _, taken := s.grants[k]; taken {
+			continue
+		}
+		lo, hi := s.shardRange(k)
+		var jobs []int
+		for j := lo; j < hi; j++ {
+			if !s.done[j] {
+				jobs = append(jobs, j)
+			}
+		}
+		if len(jobs) == 0 {
+			continue
+		}
+		lk, err := lease.Acquire(s.leaseDir, campaign.ShardLeaseName(k), owner, s.opts.TTL)
+		if err != nil {
+			if lease.IsHeld(err) {
+				// A forgotten grant's lease file has not aged out yet (the
+				// reaper and the file share the same last-beat clock, so
+				// this is a narrow race); treat the shard as taken.
+				continue
+			}
+			return GrantDoc{}, err
+		}
+		g := &grant{owner: owner, shard: k, gen: lk.Gen(), lk: lk, lastBeat: s.now(), jobs: jobs}
+		s.grants[k] = g
+		s.byOwner[owner] = g
+		s.grantsTotal.Inc()
+		if lk.TookOver() {
+			s.regrantsTotal.Inc()
+		}
+		s.tr.OnClaim(k)
+		return GrantDoc{Shard: k, Gen: g.gen, Jobs: jobs, TTLNanos: int64(s.opts.TTL)}, nil
+	}
+	// Pending work exists but every pending shard is granted: wait.
+	return GrantDoc{Wait: true, TTLNanos: int64(s.opts.TTL)}, nil
+}
+
+// grantLocked resolves a ShardRef to its live grant, or errFenced.
+func (s *Server) grantLocked(owner string, shard int, gen int64) (*grant, error) {
+	g := s.grants[shard]
+	if g == nil || g.owner != owner || g.gen != gen {
+		s.fencedTotal.Inc()
+		return nil, errFenced
+	}
+	return g, nil
+}
+
+// heartbeat refreshes a grant's liveness, both in memory and on the lease
+// file (so a legacy run probing the directory still sees a live worker).
+func (s *Server) heartbeat(ref ShardRef) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, err := s.grantLocked(ref.Owner, ref.Shard, ref.Gen)
+	if err != nil {
+		return err
+	}
+	if err := g.lk.Heartbeat(); errors.Is(err, lease.ErrLost) {
+		// Someone outside the control plane took the lease file over; the
+		// grant is no longer ours to vouch for.
+		delete(s.grants, g.shard)
+		delete(s.byOwner, g.owner)
+		s.fencedTotal.Inc()
+		return errFenced
+	}
+	g.lastBeat = s.now()
+	return nil
+}
+
+// ingest validates the fence token and appends the records to the store.
+// Records for already-done jobs are appended anyway — the report fold
+// dedupes by job, and proving that is cheaper than a server-side filter
+// whose failure would be silent.
+func (s *Server) ingest(req IngestRequest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lostStore {
+		return fmt.Errorf("serve: store lease lost; not accepting records")
+	}
+	g, err := s.grantLocked(req.Owner, req.Shard, req.Gen)
+	if err != nil {
+		return err
+	}
+	lo, hi := s.shardRange(req.Shard)
+	for i := range req.Records {
+		rec := &req.Records[i]
+		if rec.Job < lo || rec.Job >= hi {
+			return fmt.Errorf("serve: record for job %d is outside granted shard %d [%d,%d)", rec.Job, req.Shard, lo, hi)
+		}
+	}
+	for i := range req.Records {
+		rec := &req.Records[i]
+		if err := s.store.Append(rec); err != nil {
+			return err
+		}
+		s.recordsTotal.Inc()
+		if !s.done[rec.Job] {
+			s.done[rec.Job] = true
+			s.doneCount++
+			s.sinceCkpt++
+			g.newly++
+			s.tr.OnEvent(campaign.SiteEvent{
+				Job: rec.Job, Band: rec.Band, Stage: rec.Stage,
+				Scenario: rec.Scenario, Site: rec.Site,
+				Event: core.ExperimentFinished{Target: rec.Site, Err: rec.Err},
+			})
+		}
+	}
+	g.lastBeat = s.now()
+	if s.sinceCkpt >= s.opts.CheckpointEvery || s.doneCount == s.plan.Jobs() {
+		s.writeManifestLocked()
+		s.sinceCkpt = 0
+	}
+	if s.doneCount == s.plan.Jobs() {
+		s.completeOnce.Do(func() { close(s.complete) })
+	}
+	return nil
+}
+
+// sealShard handles /api/done: the worker finished its grant; release the
+// lease so the directory shows the shard free.
+func (s *Server) sealShard(ref ShardRef) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, err := s.grantLocked(ref.Owner, ref.Shard, ref.Gen)
+	if err != nil {
+		return err
+	}
+	delete(s.grants, g.shard)
+	delete(s.byOwner, g.owner)
+	// ErrLost here means a racing takeover already owns the file; the
+	// records are in the store either way.
+	if err := g.lk.Release(); err != nil && !errors.Is(err, lease.ErrLost) {
+		return err
+	}
+	s.tr.OnShardDone(g.shard, g.newly)
+	return nil
+}
+
+// writeManifestLocked checkpoints progress; counts are derived from the
+// in-memory done set, which the startup scan seeded from the store.
+func (s *Server) writeManifestLocked() {
+	counts := make([]int, s.plan.Shards())
+	for j, d := range s.done {
+		if d {
+			counts[s.plan.ShardOf(j)]++
+		}
+	}
+	_ = campaign.WriteManifest(s.dir, &campaign.Manifest{
+		Plan: s.plan.Name, Total: s.plan.Jobs(), Done: s.doneCount, PerShard: counts,
+	})
+}
+
+// Handler returns the control-plane mux: the /api endpoints plus the full
+// campaign dashboard (metrics, progress, dashboard.json, pprof, HTML) on
+// the same listener.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/plan", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.plan)
+	})
+	mux.HandleFunc("/api/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Status())
+	})
+	mux.HandleFunc("/api/grant", func(w http.ResponseWriter, r *http.Request) {
+		var req GrantRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if req.Owner == "" {
+			http.Error(w, "owner is required", http.StatusBadRequest)
+			return
+		}
+		g, err := s.grantFor(req.Owner)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, g)
+	})
+	mux.HandleFunc("/api/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var ref ShardRef
+		if !decodeJSON(w, r, &ref) {
+			return
+		}
+		finish(w, s.heartbeat(ref))
+	})
+	mux.HandleFunc("/api/records", func(w http.ResponseWriter, r *http.Request) {
+		var req IngestRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		finish(w, s.ingest(req))
+	})
+	mux.HandleFunc("/api/done", func(w http.ResponseWriter, r *http.Request) {
+		var ref ShardRef
+		if !decodeJSON(w, r, &ref) {
+			return
+		}
+		finish(w, s.sealShard(ref))
+	})
+	mux.Handle("/", s.dash.Handler())
+	return mux
+}
+
+// WaitQuit exposes the dashboard's quit channel (POST /quit), so a
+// harness can end a serve process that has no -until-done condition.
+func (s *Server) WaitQuit() <-chan struct{} { return s.dash.WaitQuit() }
+
+// decodeJSON decodes a POST body, writing the HTTP error itself on
+// failure. Bodies are capped well above any real record batch.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// finish maps a control-plane error to its HTTP status: fencing is 410
+// Gone (the caller must abandon the shard), anything else is 400 (bad
+// record) or 500 (store trouble) — collapsed to 400/503 by class.
+func finish(w http.ResponseWriter, err error) {
+	switch {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, errFenced):
+		http.Error(w, err.Error(), http.StatusGone)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

@@ -373,7 +373,7 @@ func (c *Coordinator) runEpoch(stage Stage, sr *StageResult, reqs map[string]Req
 		Crowd:           crowd,
 		Scheduled:       scheduled,
 		Received:        len(samples),
-		NormQuantile:    quantileOf(samples, c.cfg.Quantile(stage)),
+		NormQuantile:    detectionQuantileOf(samples, c.cfg.Quantile(stage), c.cfg.RequestTimeout),
 		NormMedian:      quantileOf(samples, 0.5),
 		Spread90:        spread90(samples),
 		ArriveAt:        arriveAt,

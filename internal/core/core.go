@@ -241,6 +241,15 @@ type Sample struct {
 // Normalized returns the normalized response time: observed minus base.
 func (s Sample) Normalized() time.Duration { return s.Resp - s.Base }
 
+// ErrorClass reports whether this sample is an error-class response for
+// stop detection: a timeout or transport failure (Err set, no status), a
+// rejected request (429), or a server failure (5xx). Other 4xx codes —
+// notably 404 — are content structure, not load, and stay out of
+// detection: missing content is the Unavailable verdict's territory.
+func (s Sample) ErrorClass() bool {
+	return (s.Err != "" && s.Status == 0) || s.Status == 429 || s.Status >= 500
+}
+
 // Errors the coordinator reports.
 var (
 	// ErrTooFewClients aborts the experiment per the MinClients rule.

@@ -44,10 +44,14 @@ type EpochResult struct {
 	Scheduled int // requests scheduled (Crowd × MultiRequest)
 	Received  int // samples actually collected
 	Errors    int // samples with Err != ""
-	// NormQuantile is the detection quantile of normalized response time.
+	// NormQuantile is the detection quantile of normalized response time,
+	// with error-class samples (timeouts, 429 rejections, 5xx failures)
+	// scored as the full request timeout — a refused client is at least as
+	// degraded as one that waited out the clock.
 	NormQuantile time.Duration
-	// NormMedian is always recorded for reference (equals NormQuantile for
-	// Base and Small Query).
+	// NormMedian is always recorded for reference: the raw quantile of
+	// observed latencies, with no error-class floor (it feeds the response
+	// curves, which plot what clients measured, not the detection rule).
 	NormMedian time.Duration
 	Exceeded   bool // NormQuantile > θ
 	// Samples is populated only with Config.KeepSamples.
@@ -191,6 +195,34 @@ func (r *Result) String() string {
 		}
 	}
 	return b.String()
+}
+
+// detectionQuantileOf computes the detection quantile of normalized
+// response times, scoring error-class samples (timeouts, 429 rejections,
+// 5xx failures) as if the client had waited out the full request timeout:
+// max(Resp, timeout) − Base. Timeout samples already record Resp =
+// timeout, so they are unchanged; the floor exists for *fast* failures. A
+// WAF that rejects over-limit requests with an instant 429 used to read
+// as healthy — the latency quantile saw only quick responses — even
+// though the crowd provably could not get service. A client that is
+// refused is at least as degraded as one that waited the timeout, so
+// detection scores it that way, while the raw quantileOf keeps feeding
+// the reference curves (NormMedian) with observed latencies only.
+func detectionQuantileOf(samples []Sample, q float64, timeout time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	ds := make([]time.Duration, len(samples))
+	for i, s := range samples {
+		d := s.Normalized()
+		if s.ErrorClass() {
+			if floor := timeout - s.Base; floor > d {
+				d = floor
+			}
+		}
+		ds[i] = d
+	}
+	return stats.QuantileDuration(ds, q)
 }
 
 // quantileOf computes the configured quantile of normalized response times

@@ -205,13 +205,14 @@ func TestDelayLimiterIsDetected(t *testing.T) {
 	}
 }
 
-// TestRejectLimiterEvadesDetection documents the engine's honest blind
-// spot: a limiter that answers over-limit requests with an instant 429
-// produces fast responses, and latency-quantile detection reads fast as
-// healthy. The verdict stays NoStop even though the limiter provably
-// refused traffic — the confusion-matrix cell MFC cannot fix without
-// scoring errors as degradation.
-func TestRejectLimiterEvadesDetection(t *testing.T) {
+// TestRejectLimiterIsDetected: a WAF that answers over-limit requests
+// with an instant 429 produces *fast* responses, which used to evade
+// latency-quantile detection entirely (the suite's old negative finding).
+// Detection now scores error-class responses — 429s, 5xx, timeouts — as
+// the full request timeout: a refused client is at least as degraded as
+// one that waited out the clock, so the rejecting tier is reported as the
+// stopping subsystem just like its tarpit sibling.
+func TestRejectLimiterIsDetected(t *testing.T) {
 	cfg := DefaultConfig()
 	base := SimTarget{Server: PresetQTP(), Site: PresetQTSite(7), Clients: 65, Seed: 1}
 	waf := base
@@ -223,8 +224,10 @@ func TestRejectLimiterEvadesDetection(t *testing.T) {
 	if n := run.Server.RateLimited(); n == 0 {
 		t.Fatal("reject limiter never fired; the test exercises nothing")
 	}
-	if v := run.Result.Stage(StageBase).Verdict; v != VerdictNoStop {
-		t.Errorf("Base behind a reject limiter = %v; the documented finding is a false NoStop", v)
+	got := run.Result.Stage(StageBase)
+	if got.Verdict != VerdictStopped {
+		t.Errorf("Base behind a 20/s reject limiter = %v, want Stopped (first-exceed %d)",
+			got.Verdict, got.FirstExceed)
 	}
 }
 
