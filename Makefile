@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-short bench-check experiments fuzz campaign-smoke campaign-dist-smoke chaos-smoke metrics-smoke serve-smoke api apicheck ci
+.PHONY: build test race vet fmt-check bench bench-short bench-check experiments fuzz campaign-smoke campaign-dist-smoke chaos-smoke metrics-smoke serve-smoke analyze-smoke api apicheck ci
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 # DES kernel it drives, the coordinator (event stream + cancellation), and
 # the experiments/campaign layers that fan out on it.
 race:
-	$(GO) test -race ./internal/runner ./internal/netsim ./internal/core ./internal/scenario ./internal/experiments ./internal/campaign ./internal/campaign/dist ./internal/campaign/dist/lease ./internal/campaign/serve ./internal/obs
+	$(GO) test -race ./internal/runner ./internal/netsim ./internal/core ./internal/scenario ./internal/experiments ./internal/campaign ./internal/campaign/dist ./internal/campaign/dist/lease ./internal/campaign/serve ./internal/analyze ./internal/obs
 
 # API-surface lock: api.txt is the checked-in `go doc -all` of the public
 # package. `make api` regenerates it after an intentional API change;
@@ -58,6 +58,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime 10s ./internal/campaign
 	$(GO) test -run '^$$' -fuzz '^FuzzLease$$' -fuzztime 10s ./internal/campaign/dist/lease
 	$(GO) test -run '^$$' -fuzz '^FuzzScenarioConfig$$' -fuzztime 10s ./internal/scenario
+	$(GO) test -run '^$$' -fuzz '^FuzzAnalyzeShard$$' -fuzztime 10s ./internal/analyze
 	$(GO) test -run '^$$' -fuzz '^FuzzSanitizeMetricName$$' -fuzztime 10s ./internal/obs
 	$(GO) test -run '^$$' -fuzz '^FuzzSanitizeLabelName$$' -fuzztime 10s ./internal/obs
 
@@ -184,4 +185,13 @@ serve-smoke:
 	diff /tmp/camp-serve-base.txt /tmp/camp-serve.txt
 	@echo "networked kill -9 + re-grant report is byte-identical"
 
-ci: build vet fmt-check apicheck test race chaos-smoke campaign-dist-smoke metrics-smoke serve-smoke
+# Analytics smoke, the same sequence CI runs: the deep analyze read over
+# the serve-smoke stores — the 3-worker kill -9 + re-grant store must
+# produce a byte-identical analytics document to the single-process one.
+analyze-smoke: serve-smoke
+	/tmp/mfc-campaign analyze -dir /tmp/camp-serve-base -json > /tmp/camp-serve-base.analyze.json
+	/tmp/mfc-campaign analyze -dir /tmp/camp-serve -json > /tmp/camp-serve.analyze.json
+	diff /tmp/camp-serve-base.analyze.json /tmp/camp-serve.analyze.json
+	@echo "kill -9 store analytics document is byte-identical"
+
+ci: build vet fmt-check apicheck test race chaos-smoke campaign-dist-smoke metrics-smoke serve-smoke analyze-smoke

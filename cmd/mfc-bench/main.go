@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"mfc"
+	"mfc/internal/analyze"
 	"mfc/internal/experiments"
 	"mfc/internal/websim"
 )
@@ -118,6 +119,29 @@ func catalog() []bench {
 				noStop = r.Hist.Fraction(4)
 			}
 			b.ReportMetric(noStop*100, "nostop-pct")
+		}},
+		{"AnalyzeStore", false, func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "mfc-bench-analyze-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			if _, err := analyze.BenchStore(dir, 512); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var done int
+			for i := 0; i < b.N; i++ {
+				a, err := analyze.Compute([]string{dir})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := a.Doc().JSON(); err != nil {
+					b.Fatal(err)
+				}
+				done = a.Done
+			}
+			b.ReportMetric(float64(done), "jobs-analyzed")
 		}},
 		{"PredictiveValidation", true, func(b *testing.B) {
 			var mfcStop int

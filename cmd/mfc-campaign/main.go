@@ -11,6 +11,7 @@
 //	mfc-campaign work   -dir DIR | -join ADDR [-workers N] [-owner ID] [-ttl D] [-poll D] [-halt-after N] [-quiet] [-metrics :9090]
 //	mfc-campaign serve  -dir DIR -listen ADDR [-ttl D] [-until-done]
 //	mfc-campaign report -dir DIR [-dir DIR ...]
+//	mfc-campaign analyze -dir DIR [-dir DIR ...] [-json] [-no-figures]
 //	mfc-campaign merge  -out DIR -dir DIR [-dir DIR ...]
 //
 // -metrics ADDR serves, for run/resume/work: Prometheus text metrics on
@@ -40,6 +41,13 @@
 // consolidated store to a fresh directory. However the jobs were split,
 // killed or resumed, the report is byte-identical to an uninterrupted
 // single-process run.
+// `analyze` is the deep read side: it streams the stores' full Result
+// payloads into per-cell latency-quantile curves, response-time knees,
+// verdict confusion matrices against each group's clean baseline, and
+// request/error rollups — as §5-style figures, or with -json as
+// deterministic bytes carrying the same byte-identity guarantee as
+// report. The same aggregates are served live on /analyze (HTML) and
+// /analyze.json from every -metrics dashboard and `serve` control plane.
 package main
 
 import (
@@ -54,6 +62,7 @@ import (
 	"syscall"
 	"time"
 
+	"mfc/internal/analyze"
 	"mfc/internal/campaign"
 	"mfc/internal/campaign/dist"
 	"mfc/internal/campaign/serve"
@@ -82,6 +91,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
 	case "merge":
 		err = cmdMerge(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -106,6 +117,7 @@ func usage() {
   mfc-campaign work   -dir DIR | -join ADDR [-workers N] [-owner ID] [-ttl D] [-poll D] [-halt-after N] [-quiet] [-metrics ADDR [-metrics-hold D]]
   mfc-campaign serve  -dir DIR -listen ADDR [-ttl D] [-until-done]
   mfc-campaign report -dir DIR [-dir DIR ...]
+  mfc-campaign analyze -dir DIR [-dir DIR ...] [-json] [-no-figures]
   mfc-campaign merge  -out DIR -dir DIR [-dir DIR ...]
 
 -metrics serves /metrics (Prometheus), /progress (JSON), /debug/pprof/
@@ -123,6 +135,10 @@ heartbeating, and serves the dashboard on the same listener; -until-done
 exits once every job has a record.
 report over several -dir flags merges stores of one plan; merge writes
 the consolidated store to -out.
+analyze streams the stores' full results into latency curves, knees,
+confusion matrices and error rollups; -json emits deterministic bytes
+(byte-identical across kills, resumes and worker splits), -no-figures
+drops the ASCII charts from the text output.
 
 bands:     all, `+strings.Join(bandNames(), ", ")+`
 stages:    base, query, large
@@ -473,6 +489,7 @@ func startMonitor(dir, addr string, hold time.Duration, quiet bool) (*liveMonito
 	m.tr = campaign.NewTracker(reg)
 	if addr != "" {
 		m.dash = campaign.NewDash(dir, reg, m.tr)
+		analyze.NewWeb([]string{dir}, 0).MountOn(m.dash)
 		ln, err := net.Listen("tcp", addr)
 		if err != nil {
 			return nil, fmt.Errorf("-metrics: %w", err)
@@ -537,4 +554,33 @@ func cmdReport(args []string) error {
 		return campaign.Report(dirs[0], os.Stdout)
 	}
 	return dist.Report(dirs, os.Stdout)
+}
+
+// cmdAnalyze streams one or many stores of the same plan through the
+// analytics engine. Like report, the output is a pure function of (plan,
+// union of completed jobs).
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	var dirs dirList
+	fs.Var(&dirs, "dir", "campaign directory (repeatable: merge stores of one plan)")
+	asJSON := fs.Bool("json", false, "emit the deterministic JSON document instead of text")
+	noFigures := fs.Bool("no-figures", false, "drop the ASCII charts from the text output")
+	fs.Parse(args)
+	if len(dirs) == 0 {
+		return fmt.Errorf("analyze: at least one -dir is required")
+	}
+	a, err := analyze.Compute(dirs)
+	if err != nil {
+		return err
+	}
+	doc := a.Doc()
+	if *asJSON {
+		b, err := doc.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return analyze.Render(os.Stdout, doc, !*noFigures)
 }

@@ -62,8 +62,15 @@
 // receive fenced work grants (the shard lease's generation travels as
 // the fence token), heartbeat them, and upload records as they
 // complete; a worker silent past the TTL has its shard re-granted and
-// its late requests refused with 410 Gone. See DESIGN.md "Distributed
-// campaigns" and "Networked campaigns".
+// its late requests refused with 410 Gone. `analyze` is the deep read
+// side: it streams the stores' full result payloads — one shard of
+// decoded records in memory at a time — into per-cell latency-quantile
+// curves, response-time knees, error-class rollups and
+// baseline-vs-scenario verdict confusion matrices, as text with figures,
+// canonical JSON (`-json`, byte-identical however the store was
+// produced), and a live /analyze view on every dashboard listener. See
+// DESIGN.md "Distributed campaigns", "Networked campaigns" and
+// "Campaign analytics".
 //
 // # Observability
 //

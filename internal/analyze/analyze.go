@@ -1,0 +1,268 @@
+// Package analyze is the campaign engine's read side: streaming analytics
+// over the sharded JSONL stores. Where the report fold keeps one
+// CellSummary per cell, analyze mines the full Result payloads — per-epoch
+// latency-quantile curves, response-time knees vs provisioning tier,
+// verdict confusion matrices across scenario sweeps, and request/error
+// rollups — while keeping the same determinism contract and memory bound:
+// records fold in (shard, job) order with duplicates dropped, so a killed,
+// resumed, or distributed campaign analyzes byte-identically to an
+// uninterrupted one, and only one shard's records are resident at a time.
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"mfc/internal/campaign"
+	"mfc/internal/core"
+	"mfc/internal/stats"
+)
+
+// SiteMissing marks a site with no record yet in a per-site verdict array.
+const SiteMissing = 0xFF
+
+// CurvePoint is one ramp-crowd position on a cell's response curve,
+// mergeable across shards and stores.
+type CurvePoint struct {
+	N int64 // ramp epochs folded in (one per measured site)
+	// Quantile aggregates the detection quantile of normalized response
+	// time (error-class floor applied), in seconds.
+	Quantile stats.Running
+	// Median aggregates the reference median (no error floor) — the
+	// Figure 4/5/6 response curves — in seconds.
+	Median stats.Running
+	// Exceeded counts epochs whose detection quantile exceeded θ.
+	Exceeded int64
+	// Request rollups for this crowd size.
+	Scheduled, Received, Errors int64
+}
+
+func (p *CurvePoint) add(e *core.EpochResult) {
+	p.N++
+	p.Quantile.Add(e.NormQuantile.Seconds())
+	p.Median.Add(e.NormMedian.Seconds())
+	if e.Exceeded {
+		p.Exceeded++
+	}
+	p.Scheduled += int64(e.Scheduled)
+	p.Received += int64(e.Received)
+	p.Errors += int64(e.Errors)
+}
+
+func (p *CurvePoint) merge(o *CurvePoint) {
+	p.N += o.N
+	p.Quantile.Merge(o.Quantile)
+	p.Median.Merge(o.Median)
+	p.Exceeded += o.Exceeded
+	p.Scheduled += o.Scheduled
+	p.Received += o.Received
+	p.Errors += o.Errors
+}
+
+// CellAnalysis is one cell's mergeable analytics partial. Everything in it
+// folds record by record and merges associatively — per-shard partials
+// merged in shard order yield the same floats as one uninterrupted fold.
+type CellAnalysis struct {
+	N        int     // records folded in
+	Verdicts []int64 // indexed like campaign.VerdictNames()
+	Errored  int64   // records with Err set (measurement failures)
+	Stops    stats.IntHist
+	// BySite records each site's verdict code (campaign.VerdictIndex) so
+	// cross-cell joins — the confusion matrix — survive merging. One byte
+	// per site: O(Jobs) bytes total for a whole campaign, tiny next to a
+	// single shard of full records.
+	BySite []uint8
+	// Curve maps ramp crowd size to its aggregate point.
+	Curve map[int]*CurvePoint
+	// Whole-cell request rollups over every epoch (ramp and check phases).
+	Scheduled, Received, Errors int64
+	RampEpochs, CheckEpochs     int64
+}
+
+func newCellAnalysis(sites int) *CellAnalysis {
+	by := make([]uint8, sites)
+	for i := range by {
+		by[i] = SiteMissing
+	}
+	return &CellAnalysis{
+		Verdicts: make([]int64, len(campaign.VerdictNames())),
+		BySite:   by,
+		Curve:    make(map[int]*CurvePoint),
+	}
+}
+
+// add folds one record in; site is the record's within-cell site index.
+func (c *CellAnalysis) add(rec *campaign.Record, site int) {
+	c.N++
+	code := campaign.VerdictIndex(rec.Verdict)
+	c.Verdicts[code]++
+	if site >= 0 && site < len(c.BySite) {
+		c.BySite[site] = uint8(code)
+	}
+	if rec.Err != "" {
+		c.Errored++
+	}
+	if rec.Verdict == "Stopped" {
+		c.Stops.Add(rec.Stop)
+	}
+	if rec.Result == nil {
+		return
+	}
+	for _, sr := range rec.Result.Stages {
+		for i := range sr.Epochs {
+			e := &sr.Epochs[i]
+			c.Scheduled += int64(e.Scheduled)
+			c.Received += int64(e.Received)
+			c.Errors += int64(e.Errors)
+			if e.Kind == core.EpochRamp {
+				c.RampEpochs++
+				p := c.Curve[e.Crowd]
+				if p == nil {
+					p = &CurvePoint{}
+					c.Curve[e.Crowd] = p
+				}
+				p.add(e)
+			} else {
+				c.CheckEpochs++
+			}
+		}
+	}
+}
+
+// Merge folds another cell partial (same cell, same plan) in.
+func (c *CellAnalysis) Merge(o *CellAnalysis) {
+	c.N += o.N
+	for i := range c.Verdicts {
+		c.Verdicts[i] += o.Verdicts[i]
+	}
+	c.Errored += o.Errored
+	c.Stops.Merge(&o.Stops)
+	for i, code := range o.BySite {
+		if code != SiteMissing {
+			c.BySite[i] = code
+		}
+	}
+	for crowd, op := range o.Curve {
+		p := c.Curve[crowd]
+		if p == nil {
+			p = &CurvePoint{}
+			c.Curve[crowd] = p
+		}
+		p.merge(op)
+	}
+	c.Scheduled += o.Scheduled
+	c.Received += o.Received
+	c.Errors += o.Errors
+	c.RampEpochs += o.RampEpochs
+	c.CheckEpochs += o.CheckEpochs
+}
+
+// Crowds returns the curve's crowd sizes in ascending order.
+func (c *CellAnalysis) Crowds() []int {
+	out := make([]int, 0, len(c.Curve))
+	for crowd := range c.Curve {
+		out = append(out, crowd)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Analysis is a whole campaign's analytics aggregate, cells indexed as in
+// the plan.
+type Analysis struct {
+	Plan  *campaign.Plan
+	Cells []*CellAnalysis
+	Done  int
+}
+
+// NewAnalysis returns an all-empty analysis shaped for plan's cells.
+func NewAnalysis(plan *campaign.Plan) *Analysis {
+	a := &Analysis{Plan: plan, Cells: make([]*CellAnalysis, len(plan.Cells))}
+	for i := range a.Cells {
+		a.Cells[i] = newCellAnalysis(plan.Sites)
+	}
+	return a
+}
+
+// Merge folds another analysis (same plan) in.
+func (a *Analysis) Merge(o *Analysis) {
+	for i := range a.Cells {
+		a.Cells[i].Merge(o.Cells[i])
+	}
+	a.Done += o.Done
+}
+
+// AnalyzeShard folds one shard's records into a fresh analysis. Like
+// campaign.SummarizeShard, records are visited in job order with
+// duplicates dropped, so the fold depends only on WHICH jobs are done.
+func AnalyzeShard(plan *campaign.Plan, recs []campaign.Record) *Analysis {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Job < recs[j].Job })
+	a := NewAnalysis(plan)
+	lastJob := -1
+	for i := range recs {
+		if recs[i].Job == lastJob {
+			continue
+		}
+		lastJob = recs[i].Job
+		j := recs[i].Job
+		a.Cells[plan.CellOf(j)].add(&recs[i], plan.SiteOf(j))
+		a.Done++
+	}
+	return a
+}
+
+// Compute streams one or many stores of the same plan shard by shard —
+// memory stays O(len(dirs) · ShardJobs) records — merging per-shard
+// partials in shard order. Like the report fold, the result is a pure
+// function of (plan, union of completed jobs): byte-identical JSON for a
+// single-process store and any distributed split holding the same records.
+func Compute(dirs []string) (*Analysis, error) {
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("analyze: no store directories given")
+	}
+	plan, err := campaign.LoadPlan(dirs[0])
+	if err != nil {
+		return nil, err
+	}
+	stores := make([]*campaign.Store, 0, len(dirs))
+	defer func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+	for i, dir := range dirs {
+		if i > 0 {
+			p, err := campaign.LoadPlan(dir)
+			if err != nil {
+				return nil, err
+			}
+			if !plan.Same(p) {
+				return nil, fmt.Errorf("analyze: %s holds plan %q which differs from %s's plan %q; only stores of one plan can merge",
+					dir, p.Name, dirs[0], plan.Name)
+			}
+		}
+		s, err := campaign.OpenStore(dir, plan.ShardJobs)
+		if err != nil {
+			return nil, err
+		}
+		stores = append(stores, s)
+	}
+
+	total := NewAnalysis(plan)
+	sc := campaign.NewShardScanner()
+	for k := 0; k < plan.Shards(); k++ {
+		// Full scan: analytics needs the Result payloads. The append
+		// copies each record out before the next store's scan recycles
+		// the scanner's slice.
+		var union []campaign.Record
+		for _, s := range stores {
+			recs, err := sc.Scan(s, k, plan.Jobs(), true)
+			if err != nil {
+				return nil, err
+			}
+			union = append(union, recs...)
+		}
+		total.Merge(AnalyzeShard(plan, union))
+	}
+	return total, nil
+}

@@ -1,0 +1,120 @@
+package analyze
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mfc/internal/campaign"
+	"mfc/internal/core"
+	"mfc/internal/population"
+)
+
+// fuzzShardRecord is a small valid record with a Result payload, so the
+// fuzzer mutates past the compact fields into the epoch tree.
+func fuzzShardRecord(j int) *campaign.Record {
+	return &campaign.Record{
+		Job: j, Site: "rank-100K-1M-00000", Band: "rank-100K-1M", Stage: "Base",
+		Verdict: "Stopped", Stop: 15, Requests: 80, SimElapsedNs: 1e9,
+		Result: &core.Result{Target: "rank-100K-1M-00000", Stages: []*core.StageResult{{
+			Stage: core.StageBase, Verdict: core.VerdictStopped, StoppingCrowd: 15,
+			Epochs: []core.EpochResult{
+				{Index: 0, Kind: core.EpochRamp, Crowd: 10, Scheduled: 10, Received: 10, NormQuantile: 5e7, NormMedian: 4e7},
+				{Index: 1, Kind: core.EpochRamp, Crowd: 15, Scheduled: 15, Received: 15, NormQuantile: 2e8, NormMedian: 1e8, Exceeded: true},
+				{Index: 2, Kind: core.EpochCheckMinus, Crowd: 10, Scheduled: 10, Received: 10, NormQuantile: 5e7, NormMedian: 4e7},
+			},
+		}}},
+	}
+}
+
+// FuzzAnalyzeShard throws arbitrary bytes at a shard tail — torn Result
+// payloads, duplicated lines, welded half-lines, binary garbage — and
+// locks the analyze read path: the scan, the per-shard fold, and the
+// document render must never panic, must keep every pre-tear record, and
+// must produce identical output however often surviving lines repeat.
+// Seed corpus: testdata/fuzz/FuzzAnalyzeShard plus the seeds below.
+func FuzzAnalyzeShard(f *testing.F) {
+	whole, _ := json.Marshal(fuzzShardRecord(1))
+	f.Add([]byte{})
+	f.Add(whole[:len(whole)/2])                                                  // torn inside the Result payload
+	f.Add(append(append([]byte{}, whole...), append([]byte("\n"), whole...)...)) // duplicated record
+	f.Add(append([]byte("{\"job\":2,\"result\":{\"Stages\":["), whole...))       // weld into a result subtree
+	f.Add([]byte("\x00\xff\xfe garbage \x01"))
+	f.Add([]byte("{\"job\":7000,\"result\":null}")) // valid JSON, out-of-range job
+
+	plan, err := campaign.NewPlan("fuzz",
+		[]population.Band{population.Rank1M}, []core.Stage{core.StageBase}, nil, 4, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	plan.ShardJobs = 4
+
+	f.Fuzz(func(t *testing.T, tail []byte) {
+		dir := t.TempDir()
+		if err := plan.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		st, err := campaign.OpenStore(dir, plan.ShardJobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 2; j++ {
+			if err := st.Append(fuzzShardRecord(j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		shard := filepath.Join(dir, "shards", "shard-0000.jsonl")
+		fh, err := os.OpenFile(shard, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fh.Write(tail); err != nil {
+			t.Fatal(err)
+		}
+		fh.Close()
+
+		a, err := Compute([]string{dir})
+		if err != nil {
+			t.Fatalf("Compute over torn shard: %v", err)
+		}
+		if a.Done < 2 {
+			t.Fatalf("pre-tear records lost: %d done", a.Done)
+		}
+		b, err := a.Doc().JSON()
+		if err != nil || len(b) == 0 {
+			t.Fatalf("doc render: %v", err)
+		}
+
+		// Duplicating the whole (possibly torn) shard into a second store
+		// must change nothing: the fold drops duplicates by job.
+		dir2 := t.TempDir()
+		if err := plan.Save(dir2); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Join(dir2, "shards"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir2, "shards", "shard-0000.jsonl"), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		a2, err := Compute([]string{dir, dir2})
+		if err != nil {
+			t.Fatalf("Compute over duplicated stores: %v", err)
+		}
+		b2, err := a2.Doc().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != string(b2) {
+			t.Errorf("duplicated store changed the document:\n--- single\n%s\n--- doubled\n%s", b, b2)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"mfc/internal/plot"
+)
+
+// Render writes the human-readable analysis: per-cell summaries with
+// knees and rollups, confusion matrices, and — with figures — the §5
+// curve charts, one per (band, stage) group with a series per scenario.
+// Like the JSON, the bytes are a pure function of (plan, completed jobs).
+func Render(w io.Writer, doc *Doc, figures bool) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "analyze %q seed=%d: %d cells x %d sites = %d jobs, %d done\n",
+		doc.Campaign, doc.Seed, len(doc.Cells), doc.Sites, doc.TotalJobs, doc.DoneJobs)
+	if !doc.Complete {
+		fmt.Fprintf(&b, "INCOMPLETE: %d jobs outstanding (completed cells are exact; others partial)\n",
+			doc.TotalJobs-doc.DoneJobs)
+	}
+	fmt.Fprintf(&b, "theta=%gms\n\n", doc.ThresholdMs)
+
+	for i := range doc.Cells {
+		c := &doc.Cells[i]
+		fmt.Fprintf(&b, "cell %s: n=%d measured=%d\n", cellLabel(c.Band, c.Stage, c.Scenario), c.N, c.Measured)
+		if c.N == 0 {
+			continue
+		}
+		b.WriteString("  verdicts:")
+		for _, name := range verdictOrder(c.Verdicts) {
+			fmt.Fprintf(&b, " %s=%d", name, c.Verdicts[name])
+		}
+		b.WriteByte('\n')
+		if c.StopP50 > 0 || c.StopP90 > 0 {
+			fmt.Fprintf(&b, "  stop-p50=%.1f stop-p90=%.1f\n", c.StopP50, c.StopP90)
+		}
+		if c.KneeCrowd > 0 {
+			fmt.Fprintf(&b, "  knee: crowd=%d (mean detection quantile stays above theta from here)\n", c.KneeCrowd)
+		} else if len(c.Curve) > 0 {
+			b.WriteString("  knee: none (curve never bends persistently)\n")
+		}
+		fmt.Fprintf(&b, "  requests: scheduled=%d received=%d errors=%d (%.2f%% error-class)\n",
+			c.Requests.Scheduled, c.Requests.Received, c.Requests.Errors, c.Requests.ErrorRate*100)
+		fmt.Fprintf(&b, "  epochs: ramp=%d check=%d\n", c.Epochs.Ramp, c.Epochs.Check)
+	}
+
+	if len(doc.Confusion) > 0 {
+		b.WriteString("\nconfusion (predicted by baseline vs observed under scenario):\n")
+		for i := range doc.Confusion {
+			cf := &doc.Confusion[i]
+			fmt.Fprintf(&b, "  %s/%s %s vs %s: sites=%d agree=%d evaded=%d false-stop=%d\n",
+				cf.Band, cf.Stage, cf.Scenario, cf.Baseline, cf.Sites, cf.Agree, cf.Evaded, cf.FalseStop)
+			for _, row := range cf.Rows {
+				if row.Predicted == row.Observed {
+					continue
+				}
+				fmt.Fprintf(&b, "    %s -> %s: %d\n", row.Predicted, row.Observed, row.N)
+			}
+		}
+	}
+
+	if figures {
+		for _, fig := range Figures(doc) {
+			b.WriteByte('\n')
+			b.WriteString(fig)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// cellLabel mirrors campaign.Cell.Label's band/stage[/scenario] shape.
+func cellLabel(band, stage, scenario string) string {
+	if scenario == "" {
+		return band + "/" + stage
+	}
+	return band + "/" + stage + "/" + scenario
+}
+
+// verdictOrder lists a verdict map's keys in report order: Stopped and
+// NoStop first, the rest sorted.
+func verdictOrder(verdicts map[string]int64) []string {
+	var head, tail []string
+	for name := range verdicts {
+		switch name {
+		case "Stopped", "NoStop":
+		default:
+			tail = append(tail, name)
+		}
+	}
+	if _, ok := verdicts["Stopped"]; ok {
+		head = append(head, "Stopped")
+	}
+	if _, ok := verdicts["NoStop"]; ok {
+		head = append(head, "NoStop")
+	}
+	sort.Strings(tail)
+	return append(head, tail...)
+}
+
+// Figures renders the §5-style charts: per (band, stage) group, the mean
+// detection-quantile curve vs crowd size with one series per scenario —
+// the response-time knee made visible against the provisioning tier.
+func Figures(doc *Doc) []string {
+	type groupKey struct{ band, stage string }
+	var order []groupKey
+	groups := make(map[groupKey][]*CellDoc)
+	for i := range doc.Cells {
+		c := &doc.Cells[i]
+		if len(c.Curve) == 0 {
+			continue
+		}
+		k := groupKey{c.Band, c.Stage}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], c)
+	}
+
+	var out []string
+	for _, k := range order {
+		cells := groups[k]
+		// Union of crowd sizes across the group's scenarios; cells that
+		// stopped earlier contribute NaN (skipped) past their last crowd.
+		crowdSet := make(map[int]bool)
+		for _, c := range cells {
+			for _, p := range c.Curve {
+				crowdSet[p.Crowd] = true
+			}
+		}
+		crowds := make([]int, 0, len(crowdSet))
+		for crowd := range crowdSet {
+			crowds = append(crowds, crowd)
+		}
+		sort.Ints(crowds)
+		xs := make([]float64, len(crowds))
+		idx := make(map[int]int, len(crowds))
+		for i, crowd := range crowds {
+			xs[i] = float64(crowd)
+			idx[crowd] = i
+		}
+
+		chart := plot.Chart{
+			Title:  fmt.Sprintf("%s/%s: mean detection quantile vs crowd (theta=%gms)", k.band, k.stage, doc.ThresholdMs),
+			XLabel: "crowd size",
+			YLabel: "quantile (ms)",
+			X:      xs,
+		}
+		for _, c := range cells {
+			ys := make([]float64, len(crowds))
+			for i := range ys {
+				ys[i] = math.NaN()
+			}
+			for _, p := range c.Curve {
+				ys[idx[p.Crowd]] = p.QuantileMs.Mean
+			}
+			name := c.Scenario
+			if name == "" {
+				name = "clean"
+			}
+			chart.Series = append(chart.Series, plot.Series{Name: name, Y: ys})
+		}
+		out = append(out, chart.Render())
+	}
+	return out
+}

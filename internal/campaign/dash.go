@@ -34,6 +34,11 @@ type Dash struct {
 	quitOnce sync.Once
 	quit     chan struct{}
 
+	// extra handlers mounted by Mount before Handler is built (the
+	// analyze surface lives in a package that imports this one, so it
+	// cannot be wired here directly).
+	extra []mountedHandler
+
 	// debounced store scan
 	scanMu   sync.Mutex
 	debounce time.Duration
@@ -94,6 +99,19 @@ func (d *Dash) scan() (*Plan, *Summary, error) {
 // WaitQuit blocks until a POST /quit arrives or ctx-free callers close it.
 func (d *Dash) WaitQuit() <-chan struct{} { return d.quit }
 
+type mountedHandler struct {
+	pattern string
+	h       http.Handler
+}
+
+// Mount registers an extra handler on the dashboard mux — the hook the
+// analyze surface uses to serve /analyze.json and /analyze next to the
+// progress endpoints. Call before Handler; later mounts of the same
+// pattern would panic inside ServeMux just like duplicate HandleFuncs.
+func (d *Dash) Mount(pattern string, h http.Handler) {
+	d.extra = append(d.extra, mountedHandler{pattern, h})
+}
+
 // Handler returns the mux serving every endpoint above.
 func (d *Dash) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -106,6 +124,9 @@ func (d *Dash) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, m := range d.extra {
+		mux.Handle(m.pattern, m.h)
+	}
 	mux.HandleFunc("/", d.serveIndex)
 	return mux
 }
@@ -284,7 +305,7 @@ const dashboardHTML = `<!doctype html>
  td, th { padding: .15rem .7rem .15rem 0; text-align: left; font-variant-numeric: tabular-nums; }
  #meta, #err { color: #666; } #err { color: #b00; }
 </style></head><body>
-<h1>mfc campaign <span id="name"></span></h1>
+<h1>mfc campaign <span id="name"></span> <small><a href="/analyze">analytics</a></small></h1>
 <div class="bar"><div id="overall" style="width:0"></div></div>
 <p id="meta">loading…</p><p id="err"></p>
 <h2>bands</h2><table id="bands"></table>

@@ -61,11 +61,13 @@ func openStores(dirs []string) (*campaign.Plan, []*campaign.Store, func(), error
 // shardUnion reads shard k from every store and returns the records
 // sorted by job with duplicates dropped (the same job measured by two
 // workers yields identical records, so which copy survives is
-// irrelevant). Memory stays O(len(dirs) · ShardJobs).
-func shardUnion(plan *campaign.Plan, stores []*campaign.Store, k int) ([]campaign.Record, error) {
+// irrelevant). Memory stays O(len(dirs) · ShardJobs). The scanner's
+// scratch is reused across stores — appending into all copies each
+// record out before the next store's scan recycles the slice.
+func shardUnion(plan *campaign.Plan, stores []*campaign.Store, sc *campaign.ShardScanner, k int, full bool) ([]campaign.Record, error) {
 	var all []campaign.Record
 	for _, s := range stores {
-		recs, err := s.ReadShard(k, plan.Jobs())
+		recs, err := sc.Scan(s, k, plan.Jobs(), full)
 		if err != nil {
 			return nil, err
 		}
@@ -94,8 +96,10 @@ func Summarize(dirs []string) (*campaign.Plan, *campaign.Summary, error) {
 	defer closeAll()
 
 	total := campaign.NewSummary(plan)
+	sc := campaign.NewShardScanner()
 	for k := 0; k < plan.Shards(); k++ {
-		recs, err := shardUnion(plan, stores, k)
+		// Compact: the report fold never reads Result payloads.
+		recs, err := shardUnion(plan, stores, sc, k, false)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -151,8 +155,10 @@ func Merge(dirs []string, out string) error {
 
 	counts := make([]int, plan.Shards())
 	done := 0
+	sc := campaign.NewShardScanner()
 	for k := 0; k < plan.Shards(); k++ {
-		recs, err := shardUnion(plan, stores, k)
+		// Full: merged shards are rewritten with their Result payloads.
+		recs, err := shardUnion(plan, stores, sc, k, true)
 		if err != nil {
 			return err
 		}

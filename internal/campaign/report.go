@@ -32,6 +32,21 @@ func bucketOf(stop int) int {
 // verdict for failed measurements.
 var verdictNames = []string{"Stopped", "NoStop", "Unavailable", "Aborted", "Error"}
 
+// VerdictNames lists the verdict labels in CellSummary.Verdicts index
+// order. Shared with the analyze package so verdict coding cannot drift.
+func VerdictNames() []string { return verdictNames }
+
+// VerdictIndex maps a verdict label to its VerdictNames index; unknown
+// labels map to the Error slot, like the report fold.
+func VerdictIndex(verdict string) int {
+	for i, name := range verdictNames {
+		if verdict == name {
+			return i
+		}
+	}
+	return len(verdictNames) - 1
+}
+
 // CellSummary is one cell's mergeable aggregate: everything the report
 // prints, foldable record by record and shard by shard, so a 10k-site cell
 // never needs its records co-resident in memory.
@@ -51,14 +66,7 @@ func newCellSummary() *CellSummary {
 // add folds one record in.
 func (c *CellSummary) add(rec *Record) {
 	c.N++
-	vi := len(verdictNames) - 1 // unknown verdicts count as Error
-	for i, name := range verdictNames {
-		if rec.Verdict == name {
-			vi = i
-			break
-		}
-	}
-	c.Verdicts[vi]++
+	c.Verdicts[VerdictIndex(rec.Verdict)]++
 	switch rec.Verdict {
 	case "Stopped":
 		c.Buckets[bucketOf(rec.Stop)]++
@@ -155,8 +163,11 @@ func Summarize(dir string) (*Plan, *Summary, error) {
 	defer store.Close()
 
 	total := NewSummary(plan)
+	sc := NewShardScanner()
 	for k := 0; k < plan.Shards(); k++ {
-		recs, err := store.ReadShard(k, plan.Jobs())
+		// Compact scan: the report fold never looks inside Result, so the
+		// payload — most of each line — is skipped, not decoded.
+		recs, err := sc.Scan(store, k, plan.Jobs(), false)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"mfc/internal/analyze"
 	"mfc/internal/campaign"
 	"mfc/internal/campaign/dist/lease"
 	"mfc/internal/core"
@@ -227,6 +228,7 @@ func New(dir string, opts Options) (*Server, error) {
 	s.tr = campaign.NewTracker(s.reg)
 	s.tr.Start(campaign.StartInfo{Total: plan.Jobs(), AlreadyDone: s.doneCount, PendingByBand: byBand})
 	s.dash = campaign.NewDash(dir, s.reg, s.tr)
+	analyze.NewWeb([]string{dir}, 0).MountOn(s.dash)
 	s.grantsTotal = s.reg.Counter("mfc_serve_grants_total",
 		"Work grants issued to joining workers.")
 	s.regrantsTotal = s.reg.Counter("mfc_serve_regrants_total",

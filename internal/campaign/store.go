@@ -215,7 +215,70 @@ func (s *Store) Close() error {
 
 // ReadShard decodes shard k's records, skipping unparseable (torn) lines
 // and out-of-range job indexes. Order is file order (completion order).
+// The returned slice is owned by the caller; full-store scans that visit
+// many shards should use a ShardScanner instead, which reuses its decode
+// scratch across calls.
 func (s *Store) ReadShard(k int, totalJobs int) ([]Record, error) {
+	recs, err := NewShardScanner().Scan(s, k, totalJobs, true)
+	if err != nil {
+		return nil, err
+	}
+	if recs == nil {
+		return nil, nil
+	}
+	out := make([]Record, len(recs))
+	copy(out, recs)
+	return out, nil
+}
+
+// ShardScanner decodes shard files with reusable scratch: the line buffer
+// and the record slice survive across Scan calls, so a full-store scan
+// (Summarize, analyze, resume's Completed) costs one buffer however many
+// shards it visits instead of allocating per shard. Compact scans skip
+// the Result payload entirely — the JSON subtree is tokenized past, never
+// built — which is most of each line's bytes for campaign records.
+//
+// Not safe for concurrent use; give each goroutine its own scanner.
+type ShardScanner struct {
+	buf  []byte   // bufio.Scanner backing buffer, grown once
+	recs []Record // returned slice, reused across Scan calls
+}
+
+// NewShardScanner returns a scanner ready for its first Scan.
+func NewShardScanner() *ShardScanner {
+	return &ShardScanner{buf: make([]byte, 0, 1<<20)}
+}
+
+// resultSkip discards the "result" subtree during compact scans: the
+// decoder still finds the subtree's end (so torn lines are detected
+// exactly as in full scans) but builds nothing.
+type resultSkip struct{}
+
+func (*resultSkip) UnmarshalJSON([]byte) error { return nil }
+
+// compactRecord mirrors Record with the Result payload skipped.
+type compactRecord struct {
+	Job          int        `json:"job"`
+	Site         string     `json:"site"`
+	Band         string     `json:"band"`
+	Stage        string     `json:"stage"`
+	Scenario     string     `json:"scenario"`
+	Verdict      string     `json:"verdict"`
+	Stop         int        `json:"stop"`
+	FirstExceed  int        `json:"first_exceed"`
+	Requests     int        `json:"requests"`
+	SimElapsedNs int64      `json:"sim_elapsed_ns"`
+	Err          string     `json:"err"`
+	Result       resultSkip `json:"result"`
+}
+
+// Scan decodes shard k's records in file order (completion order),
+// skipping unparseable (torn) lines and out-of-range job indexes. With
+// full set, each record carries its decoded Result; without it, Result is
+// left nil and the payload is skipped unparsed. The returned slice is
+// valid only until the next Scan call (the Result pointers inside it stay
+// valid — only the slice itself is recycled).
+func (sc *ShardScanner) Scan(s *Store, k, totalJobs int, full bool) ([]Record, error) {
 	f, err := os.Open(s.shardPath(k))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -225,29 +288,46 @@ func (s *Store) ReadShard(k int, totalJobs int) ([]Record, error) {
 	}
 	defer f.Close()
 
-	var out []Record
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 16<<20) // full Results can be long lines
-	for sc.Scan() {
+	sc.recs = sc.recs[:0]
+	br := bufio.NewScanner(f)
+	br.Buffer(sc.buf, 16<<20) // full Results can be long lines
+	var compact compactRecord
+	for br.Scan() {
 		var rec Record
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			continue // torn write: the job reruns
+		if full {
+			if err := json.Unmarshal(br.Bytes(), &rec); err != nil {
+				continue // torn write: the job reruns
+			}
+		} else {
+			compact = compactRecord{}
+			if err := json.Unmarshal(br.Bytes(), &compact); err != nil {
+				continue // torn write: the job reruns
+			}
+			rec = Record{
+				Job: compact.Job, Site: compact.Site, Band: compact.Band,
+				Stage: compact.Stage, Scenario: compact.Scenario,
+				Verdict: compact.Verdict, Stop: compact.Stop,
+				FirstExceed: compact.FirstExceed, Requests: compact.Requests,
+				SimElapsedNs: compact.SimElapsedNs, Err: compact.Err,
+			}
 		}
 		if rec.Job < 0 || rec.Job >= totalJobs || rec.Job/s.shardJobs != k {
 			continue // foreign or corrupt index: ignore
 		}
-		out = append(out, rec)
+		sc.recs = append(sc.recs, rec)
 	}
-	return out, sc.Err()
+	return sc.recs, br.Err()
 }
 
 // Completed scans every shard and reports which jobs already hold a valid
 // record. This scan — not the manifest — is the authority resume trusts.
+// It runs compact: the Result payloads are skipped, not decoded.
 func (s *Store) Completed(totalJobs int) (map[int]bool, error) {
 	done := make(map[int]bool)
+	sc := NewShardScanner()
 	shards := (totalJobs + s.shardJobs - 1) / s.shardJobs
 	for k := 0; k < shards; k++ {
-		recs, err := s.ReadShard(k, totalJobs)
+		recs, err := sc.Scan(s, k, totalJobs, false)
 		if err != nil {
 			return nil, err
 		}

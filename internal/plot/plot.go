@@ -9,7 +9,9 @@ import (
 	"strings"
 )
 
-// Series is one named line on a chart.
+// Series is one named line on a chart. NaN values mark missing points —
+// they are skipped when drawing and when ranging the axes, so series with
+// different X support can share one chart.
 type Series struct {
 	Name string
 	Y    []float64
@@ -69,6 +71,9 @@ func (c *Chart) Render() string {
 			if i >= len(s.Y) {
 				break
 			}
+			if math.IsNaN(s.Y[i]) {
+				continue
+			}
 			col := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
 			row := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(h-1)))
 			r := h - 1 - row
@@ -114,6 +119,9 @@ func (c *Chart) Render() string {
 func minMax(xs []float64) (lo, hi float64) {
 	lo, hi = math.Inf(1), math.Inf(-1)
 	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
 		if x < lo {
 			lo = x
 		}

@@ -23,6 +23,7 @@ func (c *Config) WrapServer(cfg websim.Config) websim.Config {
 		cfg.LimitRate = rl.Rate
 		cfg.LimitBurst = rl.Burst
 		cfg.LimitReject = rl.Reject
+		cfg.LimitJunk = rl.Junk
 	}
 	if fc := c.FrontCache; fc != nil && fc.HitRatio > 0 {
 		cfg.EdgeHitRatio = fc.HitRatio

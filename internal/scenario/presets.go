@@ -44,9 +44,20 @@ var presets = map[string]func() *Config{
 	},
 	// waf-reject: the same budget enforced by a fail-fast WAF — over-limit
 	// requests get an immediate 429, which hides the throttling from
-	// latency-based detection (see EXPERIMENTS.md).
+	// latency-based detection (see EXPERIMENTS.md). The 429s are caught by
+	// the error-class floor.
 	"waf-reject": func() *Config {
 		return &Config{Name: "waf-reject", RateLimit: &RateLimit{Rate: 400, Reject: true}}
+	},
+	// fast-junk-200: an aggressive origin-protecting tier (20 req/s,
+	// burst 5 — deep enough into MFC's synchronized bursts to fire, like
+	// the root limiter tests) that answers over-limit requests with
+	// instant tiny bogus 200s. Invisible both to latency-quantile
+	// detection (fast) and to the error-class floor (status 200): the
+	// open evasion from EXPERIMENTS.md — MFC's verdict flips to NoStop
+	// even though real service stopped degrading honestly.
+	"fast-junk-200": func() *Config {
+		return &Config{Name: "fast-junk-200", RateLimit: &RateLimit{Rate: 20, Burst: 5, Junk: true}}
 	},
 	// cdn: 80% of cacheable requests served at the edge.
 	"cdn": func() *Config {

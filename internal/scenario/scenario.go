@@ -88,6 +88,11 @@ type RateLimit struct {
 	// Reject refuses over-limit requests with 429 instead of delaying
 	// them.
 	Reject bool `json:"reject,omitempty"`
+	// Junk answers over-limit requests with instant tiny bogus 200s
+	// instead of delaying or refusing them — the evasive tier that hides
+	// overload from both latency-quantile and error-class detection.
+	// Mutually exclusive with Reject.
+	Junk bool `json:"junk,omitempty"`
 }
 
 // FrontCache configures the websim CDN/cache front tier.
@@ -211,6 +216,9 @@ func (c *Config) Validate() error {
 		if rl.Burst < 0 {
 			return fmt.Errorf("scenario: rate_limit.burst %d is negative", rl.Burst)
 		}
+		if rl.Reject && rl.Junk {
+			return errors.New("scenario: rate_limit.reject and rate_limit.junk are mutually exclusive")
+		}
 	}
 	if fc := c.FrontCache; fc != nil {
 		if fc.HitRatio < 0 || fc.HitRatio > 1 {
@@ -284,7 +292,10 @@ func (c *Config) Effects() []string {
 	}
 	if rl := c.RateLimit; rl != nil && rl.Rate > 0 {
 		mode := "delay"
-		if rl.Reject {
+		switch {
+		case rl.Junk:
+			mode = "junk"
+		case rl.Reject:
 			mode = "reject"
 		}
 		out = append(out, fmt.Sprintf("rate-limit=%g/s,%s", rl.Rate, mode))

@@ -1,0 +1,22 @@
+package stats
+
+// Knee finds the knee of a response curve against a threshold: the index
+// of the smallest x from which y stays above threshold for every larger x
+// — the load level where degradation becomes persistent rather than a
+// transient blip. ys[i] is the response at xs-sorted position i. Returns
+// -1 when the curve never ends above the threshold (no knee), 0 when it
+// is above throughout.
+//
+// This is the §5 "response-time knee vs provisioning tier" reading: a
+// well-provisioned site's curve stays flat (no knee) while a constrained
+// one bends at its stopping crowd.
+func Knee(ys []float64, threshold float64) int {
+	knee := -1
+	for i := len(ys) - 1; i >= 0; i-- {
+		if ys[i] <= threshold {
+			break
+		}
+		knee = i
+	}
+	return knee
+}

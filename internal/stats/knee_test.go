@@ -1,0 +1,26 @@
+package stats
+
+import "testing"
+
+func TestKnee(t *testing.T) {
+	cases := []struct {
+		name string
+		ys   []float64
+		th   float64
+		want int
+	}{
+		{"empty", nil, 1, -1},
+		{"flat below", []float64{0.1, 0.2, 0.3}, 1, -1},
+		{"bends and stays", []float64{0.1, 0.2, 1.5, 2, 3}, 1, 2},
+		{"transient blip recovers", []float64{0.1, 2, 0.2, 0.3}, 1, -1},
+		{"blip then persistent", []float64{0.1, 2, 0.2, 1.5, 2}, 1, 3},
+		{"above throughout", []float64{2, 3, 4}, 1, 0},
+		{"exactly threshold is not above", []float64{0.1, 1, 1}, 1, -1},
+		{"last point only", []float64{0.1, 0.2, 5}, 1, 2},
+	}
+	for _, c := range cases {
+		if got := Knee(c.ys, c.th); got != c.want {
+			t.Errorf("%s: Knee(%v, %g) = %d, want %d", c.name, c.ys, c.th, got, c.want)
+		}
+	}
+}

@@ -150,6 +150,16 @@ type Config struct {
 	LimitBurst  int
 	LimitReject bool
 
+	// LimitJunk selects the evasive over-limit behavior: instead of
+	// shaping or refusing, the tier instantly serves a tiny bogus 200 (a
+	// cached "everything is fine" splash page) without touching workers,
+	// CPU, disk or the access link. The fast 200 is invisible both to
+	// latency-quantile detection (it is quick) and to the error-class
+	// floor (status 200 is not an error class) — the evasion the ROADMAP
+	// predicts. Takes precedence over LimitReject; the scenario layer
+	// forbids setting both.
+	LimitJunk bool
+
 	// EdgeHitRatio enables a CDN/cache front tier: this fraction of
 	// cacheable (static, non-base) GET requests is served entirely at the
 	// edge, never reaching the origin's workers, CPU, disk or access
@@ -329,6 +339,7 @@ type Server struct {
 	refused     uint64
 	timedOut    uint64
 	rateLimited uint64
+	junkServed  uint64
 	edgeHits    uint64
 	arrivals    []Arrival
 	logging     bool
@@ -386,6 +397,14 @@ func (s *Server) TimedOut() uint64 { return s.timedOut }
 // RateLimited returns the count of requests the token-bucket tier
 // rejected (LimitReject mode only; delayed requests are not counted).
 func (s *Server) RateLimited() uint64 { return s.rateLimited }
+
+// JunkServed returns the count of over-limit requests the token-bucket
+// tier answered with an instant bogus 200 (LimitJunk mode only).
+func (s *Server) JunkServed() uint64 { return s.junkServed }
+
+// junkBytes is the body size of a LimitJunk bogus 200: a tiny cached
+// splash page, small enough to transfer in negligible time.
+const junkBytes = 512
 
 // EdgeHits returns the count of requests served entirely by the CDN/cache
 // front tier.
@@ -511,6 +530,11 @@ func (s *Server) Serve(p *netsim.Proc, tag string, req Request) Response {
 		admitAt := s.limVT
 		s.limVT += gap
 		if admitAt > now {
+			if s.cfg.LimitJunk {
+				s.limVT = admitAt // the junked request's token goes back
+				s.junkServed++
+				return Response{Status: 200, Bytes: junkBytes, ServerTime: s.env.Now() - start}
+			}
 			if s.cfg.LimitReject {
 				s.limVT = admitAt // the refused request's token goes back
 				s.rateLimited++

@@ -231,6 +231,32 @@ func TestRejectLimiterIsDetected(t *testing.T) {
 	}
 }
 
+// TestJunkLimiterEvades: the evasive sibling of the reject WAF — a tier
+// that answers over-limit requests with instant tiny bogus 200s. The fast
+// 200 is invisible to latency-quantile detection (quick) AND to the
+// error-class floor (status 200 is not an error class), so the same
+// constrained site that a reject limiter cannot hide flips to NoStop.
+// This is the ROADMAP's predicted evasion; the analyze confusion matrix
+// exists to make exactly this disagreement visible at sweep scale.
+func TestJunkLimiterEvades(t *testing.T) {
+	cfg := DefaultConfig()
+	base := SimTarget{Server: PresetQTP(), Site: PresetQTSite(7), Clients: 65, Seed: 1}
+	junk := base
+	junk.Scenario = &Scenario{Name: "junk", RateLimit: &ScenarioRateLimit{Rate: 20, Burst: 5, Junk: true}}
+	run, err := RunSimulatedDetailed(junk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := run.Server.JunkServed(); n == 0 {
+		t.Fatal("junk limiter never fired; the test exercises nothing")
+	}
+	got := run.Result.Stage(StageBase)
+	if got.Verdict != VerdictNoStop {
+		t.Errorf("Base behind a 20/s junk limiter = %v, want NoStop (the evasion works; first-exceed %d)",
+			got.Verdict, got.FirstExceed)
+	}
+}
+
 // TestRTTBandsDoNotChangeVerdicts: client heterogeneity is environment,
 // not server state — per-client baseline normalization must keep every
 // stage verdict identical (and a confirmed stop within one step) when the
