@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-short bench-check experiments fuzz campaign-smoke campaign-dist-smoke chaos-smoke metrics-smoke serve-smoke analyze-smoke api apicheck ci
+.PHONY: build test race vet fmt-check bench bench-short bench-check experiments fuzz campaign-smoke campaign-dist-smoke chaos-smoke metrics-smoke serve-smoke analyze-smoke trace-smoke api apicheck ci
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzAnalyzeShard$$' -fuzztime 10s ./internal/analyze
 	$(GO) test -run '^$$' -fuzz '^FuzzSanitizeMetricName$$' -fuzztime 10s ./internal/obs
 	$(GO) test -run '^$$' -fuzz '^FuzzSanitizeLabelName$$' -fuzztime 10s ./internal/obs
+	$(GO) test -run '^$$' -fuzz '^FuzzSpanIngest$$' -fuzztime 10s ./internal/campaign/serve
 
 # Kill + resume determinism check, the same sequence CI runs.
 campaign-smoke:
@@ -185,6 +186,47 @@ serve-smoke:
 	diff /tmp/camp-serve-base.txt /tmp/camp-serve.txt
 	@echo "networked kill -9 + re-grant report is byte-identical"
 
+# Fleet-trace smoke, the same sequence CI runs: a control plane with a
+# tight TTL and straggler threshold, three joined workers shipping
+# wall-clock spans over HTTP, one killed -9 mid-shard. The straggler
+# gauge must fire while the orphaned shard outlives k x the median
+# completed-shard duration, the campaign must still complete, and the
+# merged Chrome trace must carry all three workers' process tracks.
+trace-smoke:
+	$(GO) build -o /tmp/mfc-campaign ./cmd/mfc-campaign
+	rm -rf /tmp/camp-trace /tmp/camp-trace.log /tmp/camp-trace.trace.json
+	/tmp/mfc-campaign plan -dir /tmp/camp-trace -bands rank-1K-10K -stages base,query -sites 100 -seed 19 -shard-jobs 8
+	@set -e; \
+	/tmp/mfc-campaign serve -dir /tmp/camp-trace -listen 127.0.0.1:0 -ttl 2s -straggler 2 2>/tmp/camp-trace.log & SRV=$$!; \
+	addr=""; \
+	until [ -n "$$addr" ]; do \
+		addr=$$(sed -n 's,^campaign control plane on http://\([^/]*\)/.*,\1,p' /tmp/camp-trace.log 2>/dev/null); \
+		sleep 0.05; \
+	done; \
+	/tmp/mfc-campaign work -join $$addr -owner w1 -quiet & W1=$$!; \
+	/tmp/mfc-campaign work -join $$addr -owner w2 -quiet & W2=$$!; \
+	/tmp/mfc-campaign work -join $$addr -owner w3 -quiet & W3=$$!; \
+	until [ -s /tmp/camp-trace/spans/spans-w1.jsonl ]; do sleep 0.02; done; \
+	kill -9 $$W1 2>/dev/null || true; \
+	straggler=0; \
+	for i in $$(seq 1 600); do \
+		n=$$(curl -s "http://$$addr/metrics" | awk '$$1=="mfc_campaign_straggler_shards"{print int($$2)}'); \
+		if [ -n "$$n" ] && [ "$$n" -ge 1 ]; then straggler=$$n; break; fi; \
+		sleep 0.05; \
+	done; \
+	[ "$$straggler" -ge 1 ] || \
+		{ echo "straggler gauge never fired after kill -9"; curl -s "http://$$addr/fleet.json"; exit 1; }; \
+	wait $$W2; wait $$W3; wait $$W1 || true; \
+	curl -s "http://$$addr/api/status" | grep -q '"complete":true' || \
+		{ echo "control plane does not report completion"; curl -s "http://$$addr/api/status"; exit 1; }; \
+	curl -s -X POST "http://$$addr/quit" > /dev/null; wait $$SRV
+	/tmp/mfc-campaign trace -dir /tmp/camp-trace -out /tmp/camp-trace.trace.json > /tmp/camp-trace.summary
+	grep -q "from 3 workers" /tmp/camp-trace.summary
+	grep -q '"traceEvents"' /tmp/camp-trace.trace.json
+	@test "$$(grep -c '"process_name"' /tmp/camp-trace.trace.json)" = "3" || \
+		{ echo "merged trace does not carry exactly 3 worker tracks"; exit 1; }
+	@echo "kill -9 fleet trace merges all three workers and the straggler gauge fired"
+
 # Analytics smoke, the same sequence CI runs: the deep analyze read over
 # the serve-smoke stores — the 3-worker kill -9 + re-grant store must
 # produce a byte-identical analytics document to the single-process one.
@@ -194,4 +236,4 @@ analyze-smoke: serve-smoke
 	diff /tmp/camp-serve-base.analyze.json /tmp/camp-serve.analyze.json
 	@echo "kill -9 store analytics document is byte-identical"
 
-ci: build vet fmt-check apicheck test race chaos-smoke campaign-dist-smoke metrics-smoke serve-smoke analyze-smoke
+ci: build vet fmt-check apicheck test race chaos-smoke campaign-dist-smoke metrics-smoke serve-smoke analyze-smoke trace-smoke

@@ -27,6 +27,7 @@ import (
 	"mfc"
 	"mfc/internal/analyze"
 	"mfc/internal/experiments"
+	"mfc/internal/obs"
 	"mfc/internal/websim"
 )
 
@@ -142,6 +143,19 @@ func catalog() []bench {
 				done = a.Done
 			}
 			b.ReportMetric(float64(done), "jobs-analyzed")
+		}},
+		{"SpanRecord", false, func(b *testing.B) {
+			// The wall-clock tracing hot path: one Start/End pair with the
+			// attrs a sealed shard carries. The point of the baseline is
+			// allocs_per_op staying at 0 — ring slots and attr storage are
+			// reused in place, so week-long campaigns trace for free.
+			rec := obs.NewSpanRecorder("bench", 4096)
+			attrs := []obs.SpanAttr{obs.A("sealed", "true"), obs.A("jobs", "8")}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec.Start("job", "job", i&7, 0).End(attrs...)
+			}
 		}},
 		{"PredictiveValidation", true, func(b *testing.B) {
 			var mfcStop int

@@ -13,15 +13,25 @@
 //	mfc-campaign report -dir DIR [-dir DIR ...]
 //	mfc-campaign analyze -dir DIR [-dir DIR ...] [-json] [-no-figures]
 //	mfc-campaign merge  -out DIR -dir DIR [-dir DIR ...]
+//	mfc-campaign trace  -dir DIR [-dir DIR ...] [-out FILE]
 //
 // -metrics ADDR serves, for run/resume/work: Prometheus text metrics on
 // /metrics, a JSON progress snapshot (per-band done/pending, session rate,
 // ETA, shard lease churn, whole-store completion) on /progress, Go
-// profiling on /debug/pprof/, and a self-refreshing HTML dashboard on /.
+// profiling on /debug/pprof/, a fleet timeline with straggler detection
+// on /fleet, and a self-refreshing HTML dashboard on /.
 // All of them read the same tracker state that renders the terminal
 // progress line, so the surfaces cannot drift apart. -metrics-hold keeps
 // the server up after the campaign ends so the terminal counter values
 // can still be scraped; POST /quit releases the hold early.
+//
+// Every run/resume/work process also records wall-clock spans — shard
+// claims, job execution, heartbeats, fence events, idle waits — into
+// <dir>/spans/ (or, for -join workers, ships them to the control plane).
+// `trace` merges those spills into one Chrome trace-event JSON file
+// loadable in Perfetto or chrome://tracing: one process track per worker,
+// one thread track per shard, so stragglers and fenced takeovers are
+// visible as wall-clock geometry.
 //
 // `resume` is `run` with a guard that the campaign already has stored
 // results; both skip every job that already holds a record, and both hold
@@ -65,6 +75,7 @@ import (
 	"mfc/internal/analyze"
 	"mfc/internal/campaign"
 	"mfc/internal/campaign/dist"
+	"mfc/internal/campaign/dist/lease"
 	"mfc/internal/campaign/serve"
 	"mfc/internal/core"
 	"mfc/internal/obs"
@@ -95,6 +106,8 @@ func main() {
 		err = cmdAnalyze(os.Args[2:])
 	case "merge":
 		err = cmdMerge(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -115,10 +128,11 @@ func usage() {
   mfc-campaign run    -dir DIR [-workers N] [-halt-after N] [-quiet] [-metrics ADDR [-metrics-hold D]]
   mfc-campaign resume -dir DIR [-workers N] [-quiet] [-metrics ADDR [-metrics-hold D]]
   mfc-campaign work   -dir DIR | -join ADDR [-workers N] [-owner ID] [-ttl D] [-poll D] [-halt-after N] [-quiet] [-metrics ADDR [-metrics-hold D]]
-  mfc-campaign serve  -dir DIR -listen ADDR [-ttl D] [-until-done]
+  mfc-campaign serve  -dir DIR -listen ADDR [-ttl D] [-straggler K] [-until-done]
   mfc-campaign report -dir DIR [-dir DIR ...]
   mfc-campaign analyze -dir DIR [-dir DIR ...] [-json] [-no-figures]
   mfc-campaign merge  -out DIR -dir DIR [-dir DIR ...]
+  mfc-campaign trace  -dir DIR [-dir DIR ...] [-out FILE]
 
 -metrics serves /metrics (Prometheus), /progress (JSON), /debug/pprof/
 and an HTML dashboard on ADDR while the campaign runs; -metrics-hold
@@ -139,6 +153,10 @@ analyze streams the stores' full results into latency curves, knees,
 confusion matrices and error rollups; -json emits deterministic bytes
 (byte-identical across kills, resumes and worker splits), -no-figures
 drops the ASCII charts from the text output.
+trace merges the wall-clock span spills every run/resume/work process
+leaves under <dir>/spans/ (and serve collects from -join workers) into
+one Chrome trace-event JSON file for Perfetto or chrome://tracing: one
+process track per worker, one thread track per shard.
 
 bands:     all, `+strings.Join(bandNames(), ", ")+`
 stages:    base, query, large
@@ -297,7 +315,14 @@ func cmdRun(args []string, resume bool) error {
 		opts.OnStart = mon.start
 		opts.OnEvent = mon.onEvent
 	}
-	st, err := campaign.Run(context.Background(), *dir, opts)
+	// SIGINT/SIGTERM cancel the context instead of killing the process, so
+	// the span spiller gets to close open spans as partial and flush them —
+	// an interrupted campaign still yields a loadable trace.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	opts.Spans = obs.NewSpanRecorder("run", 0)
+	opts.SpanTee = mon.spanTee()
+	st, err := campaign.Run(ctx, *dir, opts)
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
 	}
@@ -344,6 +369,11 @@ func cmdWork(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *owner == "" {
+		// Resolve the default here so the span recorder and the lease files
+		// agree on the worker's name.
+		*owner = lease.DefaultOwner()
+	}
 	opts := dist.WorkOptions{
 		Owner: *owner, Workers: *workers, TTL: *ttl, Poll: *poll, HaltAfter: *haltAfter,
 	}
@@ -353,11 +383,17 @@ func cmdWork(args []string) error {
 		opts.OnClaim = mon.onClaim
 		opts.OnShardDone = mon.onShardDone
 	}
+	// As in run: SIGINT/SIGTERM cancel cleanly so open spans are closed as
+	// partial and flushed (to the spill file, or to the control plane).
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	opts.Spans = obs.NewSpanRecorder(*owner, 0)
+	opts.SpanTee = mon.spanTee()
 	var st *dist.WorkStatus
 	if *join != "" {
-		st, err = dist.WorkRemote(context.Background(), *join, opts)
+		st, err = dist.WorkRemote(ctx, *join, opts)
 	} else {
-		st, err = dist.Work(context.Background(), *dir, opts)
+		st, err = dist.Work(ctx, *dir, opts)
 	}
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
@@ -384,6 +420,7 @@ func cmdServe(args []string) error {
 		dir       = fs.String("dir", "", "campaign directory (must hold plan.json)")
 		listen    = fs.String("listen", "", "listen address for the control plane + dashboard (e.g. :8080 or 127.0.0.1:0)")
 		ttl       = fs.Duration("ttl", 0, "grant staleness bound: a worker silent this long is presumed dead and its shard re-granted (default 15s)")
+		straggler = fs.Float64("straggler", 0, "straggler threshold multiplier for /fleet: an active shard older than K x the median completed-shard duration is flagged (default 4)")
 		untilDone = fs.Bool("until-done", false, "exit once every job in the plan has a record (CI/batch mode)")
 	)
 	fs.Parse(args)
@@ -394,7 +431,7 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("serve: -listen is required")
 	}
 
-	srv, err := serve.New(*dir, serve.Options{TTL: *ttl})
+	srv, err := serve.New(*dir, serve.Options{TTL: *ttl, StragglerK: *straggler})
 	if err != nil {
 		return err
 	}
@@ -466,6 +503,7 @@ func cmdMerge(args []string) error {
 // dashboard HTTP server enabled by -metrics.
 type liveMonitor struct {
 	tr    *campaign.Tracker
+	fleet *campaign.Fleet
 	quiet bool
 
 	// Throttle for the terminal line: ~10 lines/sec, final always prints.
@@ -490,6 +528,9 @@ func startMonitor(dir, addr string, hold time.Duration, quiet bool) (*liveMonito
 	if addr != "" {
 		m.dash = campaign.NewDash(dir, reg, m.tr)
 		analyze.NewWeb([]string{dir}, 0).MountOn(m.dash)
+		m.fleet = campaign.NewFleet(0)
+		m.fleet.Register(reg)
+		m.fleet.MountOn(m.dash)
 		ln, err := net.Listen("tcp", addr)
 		if err != nil {
 			return nil, fmt.Errorf("-metrics: %w", err)
@@ -504,6 +545,15 @@ func startMonitor(dir, addr string, hold time.Duration, quiet bool) (*liveMonito
 }
 
 func (m *liveMonitor) start(info campaign.StartInfo) { m.tr.Start(info) }
+
+// spanTee feeds spilled span batches into the -metrics dashboard's fleet
+// view (nil when no dashboard is up — the spiller skips a nil tee).
+func (m *liveMonitor) spanTee() func([]obs.Span) {
+	if m.fleet == nil {
+		return nil
+	}
+	return m.fleet.Ingest
+}
 
 func (m *liveMonitor) onClaim(shard int) { m.tr.OnClaim(shard) }
 
@@ -554,6 +604,56 @@ func cmdReport(args []string) error {
 		return campaign.Report(dirs[0], os.Stdout)
 	}
 	return dist.Report(dirs, os.Stdout)
+}
+
+// cmdTrace merges the span spills of one or many campaign directories
+// into a single Chrome trace-event JSON file.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	var dirs dirList
+	fs.Var(&dirs, "dir", "campaign directory (repeatable: merge span spills from several stores)")
+	out := fs.String("out", "", "output trace file ('' or '-' = stdout; open in Perfetto or chrome://tracing)")
+	fs.Parse(args)
+	if len(dirs) == 0 {
+		return fmt.Errorf("trace: at least one -dir is required")
+	}
+	var spans []obs.Span
+	for _, d := range dirs {
+		s, err := campaign.ReadSpans(d)
+		if err != nil {
+			return err
+		}
+		spans = append(spans, s...)
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("trace: no spans under %s (run/resume/work record them into <dir>/spans/)", strings.Join(dirs, ", "))
+	}
+
+	w, summary := os.Stdout, os.Stdout
+	if *out != "" && *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	} else {
+		summary = os.Stderr // keep the trace JSON on stdout clean
+	}
+	if err := obs.WriteFleetTrace(w, spans); err != nil {
+		return err
+	}
+	workers := make(map[string]bool)
+	partial := 0
+	for i := range spans {
+		workers[spans[i].Worker] = true
+		if spans[i].Partial {
+			partial++
+		}
+	}
+	fmt.Fprintf(summary, "merged trace: %d spans from %d workers (%d partial)\n",
+		len(spans), len(workers), partial)
+	return nil
 }
 
 // cmdAnalyze streams one or many stores of the same plan through the

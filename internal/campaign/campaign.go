@@ -11,6 +11,7 @@ import (
 	"mfc"
 	"mfc/internal/campaign/dist/lease"
 	"mfc/internal/core"
+	"mfc/internal/obs"
 	"mfc/internal/population"
 	"mfc/internal/runner"
 	"mfc/internal/scenario"
@@ -46,6 +47,14 @@ type Options struct {
 	// runs still deliver exactly one terminal event. Called from pool
 	// workers; must be cheap and concurrency-safe.
 	OnEvent func(ev SiteEvent)
+	// Spans, when non-nil, records wall-clock spans for this run — a root
+	// "run" span plus one span per job — spilled to dir/spans/ every few
+	// hundred ms and flushed (open spans closed as partial) on return,
+	// including a SIGINT-canceled return.
+	Spans *obs.SpanRecorder
+	// SpanTee, when non-nil, also receives every spilled span batch; the
+	// live dashboard feeds its Fleet view through it.
+	SpanTee func([]obs.Span)
 }
 
 // StartInfo describes a Run invocation before its first job.
@@ -112,6 +121,19 @@ func Run(ctx context.Context, dir string, opts Options) (*Status, error) {
 	}
 	defer store.Close()
 	ctx = runCtx
+
+	// Wall-clock tracing: the whole run is one "run" span; each job adds a
+	// child on its shard's track. The spiller's Close (deferred, so it runs
+	// on SIGINT-canceled returns too) force-closes open spans as partial
+	// and writes the final batch, keeping the spill file loadable.
+	opts.Spans.SetTrace(PlanTraceID(plan))
+	spiller, err := StartSpanSpill(opts.Spans, dir, opts.SpanTee)
+	if err != nil {
+		return nil, err
+	}
+	defer spiller.Close()
+	runSpan := opts.Spans.Start("run", "work", -1, 0)
+	defer runSpan.End()
 
 	total := plan.Jobs()
 	completed, err := store.Completed(total)
@@ -182,7 +204,9 @@ func Run(ctx context.Context, dir string, opts Options) (*Status, error) {
 	}
 	runErr := runner.ForEach(jobCtx, len(pending), func(_ context.Context, i int) error {
 		job := pending[i]
+		jobSpan := opts.Spans.Start(fmt.Sprintf("job %d", job), "job", plan.ShardOf(job), runSpan.ID())
 		rec := Measure(plan, job, onSite)
+		jobSpan.End(obs.A("site", rec.Site), obs.A("verdict", rec.Verdict))
 		if err := store.Append(rec); err != nil {
 			return err // a dead store is fatal: nothing can be recorded
 		}

@@ -305,7 +305,7 @@ const dashboardHTML = `<!doctype html>
  td, th { padding: .15rem .7rem .15rem 0; text-align: left; font-variant-numeric: tabular-nums; }
  #meta, #err { color: #666; } #err { color: #b00; }
 </style></head><body>
-<h1>mfc campaign <span id="name"></span> <small><a href="/analyze">analytics</a></small></h1>
+<h1>mfc campaign <span id="name"></span> <small><a href="/analyze">analytics</a> · <a href="/fleet">fleet</a></small></h1>
 <div class="bar"><div id="overall" style="width:0"></div></div>
 <p id="meta">loading…</p><p id="err"></p>
 <h2>bands</h2><table id="bands"></table>

@@ -16,6 +16,7 @@ import (
 	"mfc/internal/campaign"
 	"mfc/internal/campaign/dist/lease"
 	"mfc/internal/campaign/serve"
+	"mfc/internal/obs"
 	"mfc/internal/runner"
 )
 
@@ -41,6 +42,11 @@ func WorkRemote(ctx context.Context, addr string, opts WorkOptions) (*WorkStatus
 		base: normalizeAddr(addr),
 		hc:   &http.Client{Timeout: 30 * time.Second},
 	}
+	// Concurrent requests (heartbeats, uploads, span flushes) make the
+	// transport dial-race spare connections; one that loses the race is
+	// parked unused, and the server counts it as StateNew — which blocks a
+	// graceful Shutdown for its 5s new-conn grace. Drop them on the way out.
+	defer rc.hc.CloseIdleConnections()
 
 	var plan campaign.Plan
 	if err := rc.get(ctx, "/api/plan", &plan); err != nil {
@@ -52,6 +58,33 @@ func WorkRemote(ctx context.Context, addr string, opts WorkOptions) (*WorkStatus
 
 	st := &WorkStatus{Owner: opts.Owner, Total: plan.Jobs()}
 	w := &remoteWorker{plan: &plan, rc: rc, opts: opts, st: st}
+
+	// Wall-clock tracing, networked flavor: the trace id comes from the
+	// server's X-Mfc-Trace header (adopted during the plan fetch above;
+	// the plan-derived id is the same value, but the header stays
+	// authoritative if the server ever overrides it) and span batches ship
+	// to POST /api/spans instead of a spill file. Each shipment uses its
+	// own short deadline off context.Background() so the final flush —
+	// after SIGINT has killed ctx — still reaches the server.
+	if opts.Spans != nil {
+		trace := rc.Trace()
+		if trace == "" {
+			trace = campaign.PlanTraceID(&plan)
+		}
+		opts.Spans.SetTrace(trace)
+		w.spill = campaign.NewSpanSpiller(opts.Spans, 0, func(spans []obs.Span) {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			rc.post(sctx, "/api/spans", serve.SpanBatch{Owner: opts.Owner, Spans: spans}, nil)
+		})
+		defer w.spill.Close()
+	}
+	w.root = opts.Spans.Start("work", "work", -1, 0)
+	defer func() {
+		w.root.End(obs.AInt("jobs", w.newly.Load()),
+			obs.AInt("shards_claimed", int64(st.ShardsClaimed)),
+			obs.AInt("fenced", int64(st.Fenced)))
+	}()
 
 	if opts.OnStart != nil {
 		var status serve.StatusDoc
@@ -90,9 +123,39 @@ func normalizeAddr(addr string) string {
 }
 
 // remoteClient is a minimal JSON-over-HTTP client for the serve protocol.
+// It captures the control plane's trace id (the X-Mfc-Trace response
+// header the server stamps on everything) and echoes it on requests, so
+// every worker of one served campaign lands in the same trace.
 type remoteClient struct {
 	base string
 	hc   *http.Client
+
+	traceMu sync.Mutex
+	trace   string
+}
+
+// Trace returns the trace id adopted from the server ("" before first
+// contact).
+func (rc *remoteClient) Trace() string {
+	rc.traceMu.Lock()
+	defer rc.traceMu.Unlock()
+	return rc.trace
+}
+
+// stampTrace echoes the adopted trace id on an outgoing request.
+func (rc *remoteClient) stampTrace(req *http.Request) {
+	if id := rc.Trace(); id != "" {
+		req.Header.Set(serve.TraceHeader, id)
+	}
+}
+
+// adoptTrace captures the server's trace id from a response.
+func (rc *remoteClient) adoptTrace(resp *http.Response) {
+	if id := resp.Header.Get(serve.TraceHeader); id != "" {
+		rc.traceMu.Lock()
+		rc.trace = id
+		rc.traceMu.Unlock()
+	}
 }
 
 // errRemoteFenced reports a 410 from the control plane: the fence token
@@ -104,11 +167,13 @@ func (rc *remoteClient) get(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return err
 	}
+	rc.stampTrace(req)
 	resp, err := rc.hc.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	rc.adoptTrace(resp)
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("dist: GET %s: %s", path, readError(resp))
 	}
@@ -127,11 +192,13 @@ func (rc *remoteClient) post(ctx context.Context, path string, body, out any) er
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	rc.stampTrace(req)
 	resp, err := rc.hc.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	rc.adoptTrace(resp)
 	switch {
 	case resp.StatusCode == http.StatusGone:
 		return errRemoteFenced
@@ -159,6 +226,9 @@ type remoteWorker struct {
 	cancelAll context.CancelFunc
 	newly     atomic.Int64
 	errored   atomic.Int64
+
+	spill *campaign.SpanSpiller
+	root  obs.SpanRef
 }
 
 func (w *remoteWorker) loop(ctx context.Context) error {
@@ -177,11 +247,14 @@ func (w *remoteWorker) loop(ctx context.Context) error {
 		case g.Wait:
 			// Every pending shard is granted to a live peer: back off with
 			// jitter so a waiting fleet doesn't hammer the control plane.
+			idleSpan := w.opts.Spans.Start("idle", "idle", -1, w.root.ID())
 			select {
 			case <-ctx.Done():
+				idleSpan.End(obs.A("reason", "canceled"))
 				return ctx.Err()
 			case <-time.After(idle.next()):
 			}
+			idleSpan.End()
 			continue
 		}
 		idle.reset()
@@ -201,6 +274,12 @@ func (w *remoteWorker) runGrant(ctx context.Context, g serve.GrantDoc) error {
 	if w.opts.OnClaim != nil {
 		w.opts.OnClaim(g.Shard)
 	}
+	// Ship the claim immediately (see the filesystem worker): it keeps a
+	// soon-to-die worker visible in the trace and arms the server-side
+	// straggler clock while the shard is still running.
+	w.opts.Spans.Event("claim", "claim", g.Shard, w.root.ID(), obs.ABool("takeover", g.Gen > 1))
+	shardSpan := w.opts.Spans.Start(fmt.Sprintf("shard %d", g.Shard), "shard", g.Shard, w.root.ID())
+	w.spill.Kick()
 	ref := serve.ShardRef{Owner: w.opts.Owner, Shard: g.Shard, Gen: g.Gen}
 
 	shardCtx, cancelShard := context.WithCancelCause(ctx)
@@ -224,8 +303,11 @@ func (w *remoteWorker) runGrant(ctx context.Context, g serve.GrantDoc) error {
 				// or server hiccup skips a beat and retries next tick. If
 				// the outage outlasts the TTL the server reaps the grant,
 				// and the next beat's 410 lands here anyway.
+				hb := w.opts.Spans.Start("heartbeat", "heartbeat", g.Shard, shardSpan.ID())
 				err := w.rc.post(shardCtx, "/api/heartbeat", ref, nil)
+				hb.End(obs.ABool("ok", err == nil))
 				if errors.Is(err, errRemoteFenced) {
+					w.opts.Spans.Event("fence", "fence", g.Shard, shardSpan.ID())
 					cancelShard(errRemoteFenced)
 					return
 				}
@@ -234,7 +316,7 @@ func (w *remoteWorker) runGrant(ctx context.Context, g serve.GrantDoc) error {
 	}()
 
 	before := w.newly.Load()
-	runErr := w.runJobs(shardCtx, ref, g.Jobs)
+	runErr := w.runJobs(shardCtx, ref, shardSpan.ID(), g.Jobs)
 	close(hbStop)
 	hbWG.Wait()
 	cause := context.Cause(shardCtx)
@@ -245,6 +327,7 @@ func (w *remoteWorker) runGrant(ctx context.Context, g serve.GrantDoc) error {
 		w.st.Fenced++
 		runErr = nil
 	}
+	sealed := false
 	if runErr == nil && !fenced && ctx.Err() == nil {
 		// Seal: a 410 means a successor raced us past the finish line; the
 		// records are all uploaded, so the outcome is identical.
@@ -256,11 +339,14 @@ func (w *remoteWorker) runGrant(ctx context.Context, g serve.GrantDoc) error {
 			runErr = err
 		default:
 			w.st.ShardsFinished++
+			sealed = true
 		}
 	}
 	if w.opts.OnShardDone != nil {
 		w.opts.OnShardDone(g.Shard, int(w.newly.Load()-before))
 	}
+	shardSpan.End(obs.ABool("sealed", sealed), obs.ABool("fenced", fenced),
+		obs.ABool("takeover", g.Gen > 1), obs.AInt("jobs", w.newly.Load()-before))
 	if runErr != nil {
 		return runErr
 	}
@@ -270,7 +356,8 @@ func (w *remoteWorker) runGrant(ctx context.Context, g serve.GrantDoc) error {
 // runJobs measures the granted jobs on the shared pool, uploading each
 // record as it completes — the loss window on a kill -9 is one in-flight
 // job per pool worker, the same as the filesystem path's append window.
-func (w *remoteWorker) runJobs(ctx context.Context, ref serve.ShardRef, jobs []int) error {
+// parent is the shard span the per-job spans hang off.
+func (w *remoteWorker) runJobs(ctx context.Context, ref serve.ShardRef, parent uint64, jobs []int) error {
 	if len(jobs) == 0 {
 		return nil
 	}
@@ -290,7 +377,9 @@ func (w *remoteWorker) runJobs(ctx context.Context, ref serve.ShardRef, jobs []i
 		}
 	}
 	return runner.ForEach(ctx, len(jobs), func(jctx context.Context, i int) error {
+		jobSpan := w.opts.Spans.Start(fmt.Sprintf("job %d", jobs[i]), "job", ref.Shard, parent)
 		rec := campaign.Measure(w.plan, jobs[i], onSite)
+		jobSpan.End(obs.A("site", rec.Site), obs.A("verdict", rec.Verdict))
 		if err := w.upload(jctx, ref, rec); err != nil {
 			return err
 		}

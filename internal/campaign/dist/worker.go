@@ -27,6 +27,7 @@ import (
 
 	"mfc/internal/campaign"
 	"mfc/internal/campaign/dist/lease"
+	"mfc/internal/obs"
 	"mfc/internal/runner"
 )
 
@@ -64,6 +65,19 @@ type WorkOptions struct {
 	OnStart  func(info campaign.StartInfo)
 	OnEvent  func(ev campaign.SiteEvent)
 	Progress func(done, total int)
+
+	// Spans, when non-nil, records this worker's wall-clock spans: a root
+	// "work" span, a claim event plus a "shard" span per lease, a "job"
+	// span per measurement, a "heartbeat" span per lease renewal, a
+	// "fence" event on lease loss, and an "idle" span per backoff wait.
+	// Work spills them to dir/spans/<owner>.jsonl (WorkRemote ships them
+	// to the control plane instead) and flushes on return — including a
+	// SIGINT-canceled return, so an interrupted worker still yields a
+	// loadable trace.
+	Spans *obs.SpanRecorder
+	// SpanTee, when non-nil, also receives every spilled span batch; the
+	// -metrics dashboard feeds its local Fleet view through it.
+	SpanTee func([]obs.Span)
 }
 
 // WorkStatus summarizes one Work invocation.
@@ -114,6 +128,24 @@ func Work(ctx context.Context, dir string, opts WorkOptions) (*WorkStatus, error
 
 	st := &WorkStatus{Owner: opts.Owner, Total: plan.Jobs()}
 	w := &worker{plan: plan, store: store, leaseDir: leaseDir, opts: opts, st: st}
+
+	// Wall-clock tracing: the whole invocation is one "work" span; shards,
+	// jobs, heartbeats and idle waits hang off it. The spiller's Close is
+	// deferred so a canceled worker still force-closes open spans (partial)
+	// and flushes its spill file before returning.
+	opts.Spans.SetTrace(campaign.PlanTraceID(plan))
+	spill, err := campaign.StartSpanSpill(opts.Spans, dir, opts.SpanTee)
+	if err != nil {
+		return nil, err
+	}
+	defer spill.Close()
+	w.spill = spill
+	w.root = opts.Spans.Start("work", "work", -1, 0)
+	defer func() {
+		w.root.End(obs.AInt("jobs", w.newly.Load()),
+			obs.AInt("shards_claimed", int64(st.ShardsClaimed)),
+			obs.AInt("fenced", int64(st.Fenced)))
+	}()
 
 	if opts.OnStart != nil {
 		done, err := store.Completed(plan.Jobs())
@@ -171,6 +203,9 @@ type worker struct {
 	cancelAll context.CancelFunc
 	newly     atomic.Int64
 	errored   atomic.Int64
+
+	spill *campaign.SpanSpiller
+	root  obs.SpanRef
 }
 
 // loop makes passes over the shards until nothing is pending, claiming
@@ -223,11 +258,14 @@ func (w *worker) loop(ctx context.Context) error {
 		}
 		if claimed == 0 {
 			// Everything pending is held by live peers: wait for churn.
+			idleSpan := w.opts.Spans.Start("idle", "idle", -1, w.root.ID())
 			select {
 			case <-ctx.Done():
+				idleSpan.End(obs.A("reason", "canceled"))
 				return ctx.Err()
 			case <-time.After(idle.next()):
 			}
+			idleSpan.End()
 		} else {
 			idle.reset()
 		}
@@ -285,6 +323,13 @@ func (w *worker) runShard(ctx context.Context, k int) (bool, error) {
 	if w.opts.OnClaim != nil {
 		w.opts.OnClaim(k)
 	}
+	// The claim event must reach the spill file (or control plane) right
+	// away, not a flush interval later: it is what keeps a worker killed
+	// seconds into its first shard visible in the merged trace, and what
+	// arms the straggler clock while the shard is still running.
+	w.opts.Spans.Event("claim", "claim", k, w.root.ID(), obs.ABool("takeover", lk.TookOver()))
+	shardSpan := w.opts.Spans.Start(fmt.Sprintf("shard %d", k), "shard", k, w.root.ID())
+	w.spill.Kick()
 
 	// Fencing: heartbeat until the shard is done; losing the lease (we
 	// wedged past the TTL and a peer took over) cancels this shard's jobs
@@ -308,7 +353,11 @@ func (w *worker) runShard(ctx context.Context, k int) (bool, error) {
 				// retries next tick. If the failures persist past the TTL
 				// the lease goes stale, a peer takes over, and the next
 				// heartbeat's ownership check returns ErrLost anyway.
-				if err := lk.Heartbeat(); errors.Is(err, lease.ErrLost) {
+				hb := w.opts.Spans.Start("heartbeat", "heartbeat", k, shardSpan.ID())
+				err := lk.Heartbeat()
+				hb.End(obs.ABool("ok", err == nil))
+				if errors.Is(err, lease.ErrLost) {
+					w.opts.Spans.Event("fence", "fence", k, shardSpan.ID())
 					cancelShard(lease.ErrLost)
 					return
 				}
@@ -321,7 +370,7 @@ func (w *worker) runShard(ctx context.Context, k int) (bool, error) {
 	before := w.newly.Load()
 	pending, runErr := w.pendingJobs(k)
 	if runErr == nil {
-		runErr = w.runPending(shardCtx, pending)
+		runErr = w.runPending(shardCtx, k, shardSpan.ID(), pending)
 	}
 	close(hbStop)
 	hbWG.Wait()
@@ -344,6 +393,9 @@ func (w *worker) runShard(ctx context.Context, k int) (bool, error) {
 	if w.opts.OnShardDone != nil {
 		w.opts.OnShardDone(k, int(w.newly.Load()-before))
 	}
+	sealed := runErr == nil && !fenced
+	shardSpan.End(obs.ABool("sealed", sealed), obs.ABool("fenced", fenced),
+		obs.ABool("takeover", lk.TookOver()), obs.AInt("jobs", w.newly.Load()-before))
 	if runErr != nil {
 		return true, runErr
 	}
@@ -355,10 +407,11 @@ func (w *worker) runShard(ctx context.Context, k int) (bool, error) {
 	return true, nil
 }
 
-// runPending measures the given jobs, appending each result to the
-// store. The per-job path is byte-for-byte the single-process engine's:
-// campaign.Measure from (plan, index) alone.
-func (w *worker) runPending(ctx context.Context, pending []int) error {
+// runPending measures the given jobs of shard k, appending each result
+// to the store. The per-job path is byte-for-byte the single-process
+// engine's: campaign.Measure from (plan, index) alone. parent is the
+// shard span each job span hangs off.
+func (w *worker) runPending(ctx context.Context, k int, parent uint64, pending []int) error {
 	if len(pending) == 0 {
 		return nil
 	}
@@ -379,7 +432,9 @@ func (w *worker) runPending(ctx context.Context, pending []int) error {
 		}
 	}
 	return runner.ForEach(ctx, len(pending), func(_ context.Context, i int) error {
+		jobSpan := w.opts.Spans.Start(fmt.Sprintf("job %d", pending[i]), "job", k, parent)
 		rec := campaign.Measure(w.plan, pending[i], onSite)
+		jobSpan.End(obs.A("site", rec.Site), obs.A("verdict", rec.Verdict))
 		if err := w.store.Append(rec); err != nil {
 			return err // a dead store is fatal: nothing can be recorded
 		}

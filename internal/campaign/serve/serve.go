@@ -48,10 +48,17 @@ import (
 //	POST /api/heartbeat  ShardRef      -> 204 | 410
 //	POST /api/records    IngestRequest -> 204 | 410
 //	POST /api/done       ShardRef      -> 204 | 410
+//	POST /api/spans      SpanBatch     -> 204
 //
 // 410 Gone means the fence token is stale: the shard was re-granted and
 // the bearer must abandon it. Everything else non-2xx is a caller bug
-// (400) or a server that cannot serve (503).
+// (400) or a server that cannot serve (503). Every response carries the
+// campaign's trace id in the X-Mfc-Trace header; workers adopt it so all
+// their spans land in one fleet trace.
+
+// TraceHeader carries the campaign's trace id on every control-plane
+// response (and is echoed back by workers on their requests).
+const TraceHeader = "X-Mfc-Trace"
 
 // GrantRequest asks for a work grant. Owner identifies the worker; two
 // workers must never share an owner string (a duplicate owner is treated
@@ -96,6 +103,15 @@ type IngestRequest struct {
 	Records []campaign.Record `json:"records"`
 }
 
+// SpanBatch uploads wall-clock spans from one worker. Spans are pure
+// observability: no fence token is required (a fenced worker's spans are
+// still wanted in the trace) and a malformed batch can cost at most
+// bounded memory — the Fleet aggregator hard-caps everything it keeps.
+type SpanBatch struct {
+	Owner string     `json:"owner"`
+	Spans []obs.Span `json:"spans"`
+}
+
 // StatusDoc is the /api/status snapshot.
 type StatusDoc struct {
 	Plan     string `json:"plan"`
@@ -120,6 +136,10 @@ type Options struct {
 	// jobs (default 64); the manifest is progress metadata, never
 	// authority, exactly as in the filesystem paths.
 	CheckpointEvery int
+	// StragglerK is the straggler threshold multiplier for the fleet view:
+	// an active shard older than k× the median completed-shard duration is
+	// flagged (default campaign.DefaultStragglerK).
+	StragglerK float64
 }
 
 // grant is one outstanding shard grant.
@@ -143,9 +163,11 @@ type Server struct {
 	leaseDir string
 	opts     Options
 
-	reg  *obs.Registry
-	tr   *campaign.Tracker
-	dash *campaign.Dash
+	reg   *obs.Registry
+	tr    *campaign.Tracker
+	dash  *campaign.Dash
+	fleet *campaign.Fleet
+	trace string // campaign trace id, stamped on every response
 
 	now func() time.Time // tests inject a fake clock for reaping
 
@@ -154,6 +176,8 @@ type Server struct {
 	doneCount int
 	grants    map[int]*grant    // shard -> outstanding grant
 	byOwner   map[string]*grant // owner -> its outstanding grant
+	lastSeen  map[string]time.Time
+	spanFiles map[string]*campaign.SpanWriter // owner -> span spill
 	sinceCkpt int
 	closed    bool
 	lostStore bool // the exclusive store lease was lost; refuse writes
@@ -162,6 +186,8 @@ type Server struct {
 	regrantsTotal obs.Counter
 	fencedTotal   obs.Counter
 	recordsTotal  obs.Counter
+	reapedTotal   obs.Counter
+	hbAge         obs.GaugeVec
 
 	completeOnce sync.Once
 	complete     chan struct{}
@@ -189,14 +215,18 @@ func New(dir string, opts Options) (*Server, error) {
 	}
 
 	s := &Server{
-		dir:      dir,
-		plan:     plan,
-		leaseDir: campaign.LeasesDir(dir),
-		opts:     opts,
-		now:      time.Now,
-		grants:   make(map[int]*grant),
-		byOwner:  make(map[string]*grant),
-		complete: make(chan struct{}),
+		dir:       dir,
+		plan:      plan,
+		leaseDir:  campaign.LeasesDir(dir),
+		opts:      opts,
+		now:       time.Now,
+		grants:    make(map[int]*grant),
+		byOwner:   make(map[string]*grant),
+		lastSeen:  make(map[string]time.Time),
+		spanFiles: make(map[string]*campaign.SpanWriter),
+		trace:     campaign.PlanTraceID(plan),
+		fleet:     campaign.NewFleet(opts.StragglerK),
+		complete:  make(chan struct{}),
 	}
 	store, err := campaign.OpenStoreLocked(dir, plan.ShardJobs, opts.Owner, opts.TTL, func() {
 		s.mu.Lock()
@@ -237,12 +267,18 @@ func New(dir string, opts Options) (*Server, error) {
 		"Requests refused with 410 Gone for carrying a stale fence token.")
 	s.recordsTotal = s.reg.Counter("mfc_serve_records_ingested_total",
 		"Result records ingested over HTTP (duplicates included; the report fold dedupes).")
+	s.reapedTotal = s.reg.Counter("mfc_serve_reaped_grants_total",
+		"Grants forgotten because their worker went silent past the TTL.")
+	s.hbAge = s.reg.GaugeVec("mfc_serve_worker_heartbeat_age_seconds",
+		"Seconds since each known worker was last heard from.", "owner")
 	s.reg.GaugeFunc("mfc_serve_workers",
 		"Workers currently holding a grant.", func() float64 {
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			return float64(len(s.byOwner))
 		})
+	s.fleet.Register(s.reg)
+	s.fleet.MountOn(s.dash)
 
 	if s.doneCount == plan.Jobs() {
 		s.completeOnce.Do(func() { close(s.complete) })
@@ -282,6 +318,12 @@ func (s *Server) Close() error {
 		delete(s.grants, shard)
 		delete(s.byOwner, g.owner)
 	}
+	for owner, w := range s.spanFiles {
+		if w != nil {
+			w.Close()
+		}
+		delete(s.spanFiles, owner)
+	}
 	s.mu.Unlock()
 	return s.store.Close()
 }
@@ -300,8 +342,35 @@ func (s *Server) reapLocked() {
 		if g.lastBeat.Before(cutoff) {
 			delete(s.grants, shard)
 			delete(s.byOwner, g.owner)
+			s.reapedTotal.Inc()
 		}
 	}
+}
+
+// maxTrackedOwners bounds the per-owner maps (heartbeat-age gauges, span
+// spill files) against a client inventing owner names.
+const maxTrackedOwners = 512
+
+// touchOwnerLocked records that owner was just heard from, and on first
+// sight binds its heartbeat-age gauge. The gauge fn takes s.mu — safe
+// because the registry calls gauge fns outside its own locks.
+func (s *Server) touchOwnerLocked(owner string) {
+	if owner == "" {
+		return
+	}
+	if _, known := s.lastSeen[owner]; !known {
+		if len(s.lastSeen) >= maxTrackedOwners {
+			s.lastSeen[owner] = s.now()
+			return
+		}
+		o := owner
+		s.hbAge.Func(func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.now().Sub(s.lastSeen[o]).Seconds()
+		}, o)
+	}
+	s.lastSeen[owner] = s.now()
 }
 
 // shardRange returns shard k's half-open job range [lo, hi).
@@ -322,6 +391,7 @@ func (s *Server) grantFor(owner string) (GrantDoc, error) {
 		return GrantDoc{}, fmt.Errorf("serve: control plane is shut down or lost its store lease")
 	}
 	s.reapLocked()
+	s.touchOwnerLocked(owner)
 
 	// A retry from a worker that already holds a grant — or a duplicate
 	// worker id — gets the same grant back, not a second shard.
@@ -386,6 +456,7 @@ func (s *Server) grantLocked(owner string, shard int, gen int64) (*grant, error)
 func (s *Server) heartbeat(ref ShardRef) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.touchOwnerLocked(ref.Owner)
 	g, err := s.grantLocked(ref.Owner, ref.Shard, ref.Gen)
 	if err != nil {
 		return err
@@ -412,6 +483,7 @@ func (s *Server) ingest(req IngestRequest) error {
 	if s.lostStore {
 		return fmt.Errorf("serve: store lease lost; not accepting records")
 	}
+	s.touchOwnerLocked(req.Owner)
 	g, err := s.grantLocked(req.Owner, req.Shard, req.Gen)
 	if err != nil {
 		return err
@@ -450,6 +522,36 @@ func (s *Server) ingest(req IngestRequest) error {
 		s.completeOnce.Do(func() { close(s.complete) })
 	}
 	return nil
+}
+
+// ingestSpans handles /api/spans: feed the fleet aggregator and spill the
+// batch to the campaign's spans directory so `mfc-campaign trace` on the
+// server side sees remote workers too. No fence check — a fenced worker's
+// spans are still wanted — and the spill is best-effort: span loss never
+// fails a request.
+func (s *Server) ingestSpans(req SpanBatch) {
+	for i := range req.Spans {
+		if req.Spans[i].Worker == "" {
+			req.Spans[i].Worker = req.Owner
+		}
+	}
+	s.fleet.Ingest(req.Spans)
+
+	s.mu.Lock()
+	s.touchOwnerLocked(req.Owner)
+	owner := req.Owner
+	if owner == "" {
+		owner = "unknown"
+	}
+	w, ok := s.spanFiles[owner]
+	if !ok && len(s.spanFiles) < maxTrackedOwners && !s.closed {
+		w, _ = campaign.NewSpanWriter(campaign.SpanFilePath(s.dir, owner))
+		s.spanFiles[owner] = w // nil on open failure: remembered, skipped
+	}
+	s.mu.Unlock()
+	if w != nil {
+		w.Write(req.Spans)
+	}
 }
 
 // sealShard handles /api/done: the worker finished its grant; release the
@@ -534,8 +636,21 @@ func (s *Server) Handler() http.Handler {
 		}
 		finish(w, s.sealShard(ref))
 	})
+	mux.HandleFunc("/api/spans", func(w http.ResponseWriter, r *http.Request) {
+		var req SpanBatch
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		s.ingestSpans(req)
+		w.WriteHeader(http.StatusNoContent)
+	})
 	mux.Handle("/", s.dash.Handler())
-	return mux
+	// Stamp the campaign trace id on every response so joining workers
+	// adopt it and all span files merge into one fleet trace.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(TraceHeader, s.trace)
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // WaitQuit exposes the dashboard's quit channel (POST /quit), so a

@@ -14,8 +14,9 @@ import (
 )
 
 // servePlan saves the small distributed-test matrix: 2 cells x 6 sites =
-// 12 jobs, ShardJobs 2 -> 6 shards.
-func servePlan(t *testing.T, dir string) *campaign.Plan {
+// 12 jobs, ShardJobs 2 -> 6 shards. (testing.TB: the span-ingest fuzzer
+// shares it.)
+func servePlan(t testing.TB, dir string) *campaign.Plan {
 	t.Helper()
 	plan, err := campaign.NewPlan("serve-test",
 		[]population.Band{population.Rank1M, population.Phishing},

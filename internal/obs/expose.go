@@ -87,8 +87,8 @@ func writeFamily(w *countingWriter, f *family) {
 			w.WriteString(f.name)
 			writeLabels(w, f.labels, c.labelValues, "")
 			w.WriteString(" ")
-			if c.fn != nil {
-				w.WriteString(formatValue(c.fn()))
+			if fn := c.fn.Load(); fn != nil {
+				w.WriteString(formatValue((*fn)()))
 			} else if f.typ == typeCounter {
 				w.WriteString(strconv.FormatInt(c.v.Load(), 10))
 			} else {

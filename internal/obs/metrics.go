@@ -73,9 +73,12 @@ type family struct {
 type child struct {
 	labelValues []string
 
-	v  atomic.Int64  // counter value
-	g  atomic.Uint64 // gauge float64 bits
-	fn func() float64
+	v atomic.Int64  // counter value
+	g atomic.Uint64 // gauge float64 bits
+	// fn, when set, computes the value at exposition time. Atomic because
+	// function children can be registered dynamically (e.g. a per-worker
+	// heartbeat-age gauge on first contact) while a scrape is rendering.
+	fn atomic.Pointer[func() float64]
 
 	// histogram state: per-bin counts (len(buckets)+1, last is +Inf),
 	// cumulated at exposition.
@@ -232,7 +235,7 @@ func (r *Registry) Gauge(name, help string) Gauge {
 // the JSON endpoints call.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f := r.register(name, help, typeGauge, nil, nil)
-	f.with().fn = fn
+	f.with().fn.Store(&fn)
 }
 
 // Histogram registers (or finds) a histogram with the given ascending
@@ -269,6 +272,15 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) GaugeVec {
 
 // With returns the child for the given label values (see CounterVec.With).
 func (v GaugeVec) With(values ...string) Gauge { return Gauge{v.f.with(values...)} }
+
+// Func binds the child for the given label values to a function computed
+// at exposition time — the labeled counterpart of Registry.GaugeFunc.
+// Rebinding an existing child replaces its function. Exposition calls fn
+// outside the registry and family locks, so fn may take the caller's own
+// locks safely.
+func (v GaugeVec) Func(fn func() float64, values ...string) {
+	v.f.with(values...).fn.Store(&fn)
+}
 
 // HistogramVec is a histogram family with labels.
 type HistogramVec struct{ f *family }

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fleetSpans is a small synthetic fleet: two workers, two shards plus
+// worker-level tracks, a partial span from a killed worker, and an
+// instant claim event — every rendering rule in one set.
+func fleetSpans() []Span {
+	return []Span{
+		{Trace: "feed", ID: 1, Name: "work", Cat: "work", Worker: "w-b", Shard: -1, Start: 1000, End: 9000},
+		{Trace: "feed", ID: 2, Parent: 1, Name: "shard 0", Cat: "shard", Worker: "w-b", Shard: 0, Start: 1100, End: 4000,
+			Attrs: []SpanAttr{A("sealed", "true"), A("jobs", "2")}},
+		{Trace: "feed", ID: 3, Parent: 2, Name: "job 1", Cat: "job", Worker: "w-b", Shard: 0, Start: 1200, End: 2400},
+		{Trace: "feed", ID: 4, Parent: 1, Name: "claim", Cat: "claim", Worker: "w-b", Shard: 1, Start: 4100, End: 4100},
+		{Trace: "feed", ID: 5, Parent: 1, Name: "shard 1", Cat: "shard", Worker: "w-b", Shard: 1, Start: 4100, End: 6000, Partial: true},
+		{Trace: "feed", ID: 1, Name: "work", Cat: "work", Worker: "w-a", Shard: -1, Start: 1500, End: 8000},
+		{Trace: "feed", ID: 2, Parent: 1, Name: "idle", Cat: "idle", Worker: "w-a", Shard: -1, Start: 1600, End: 1900},
+		{Trace: "feed", ID: 3, Parent: 1, Name: "shard 1", Cat: "shard", Worker: "w-a", Shard: 1, Start: 6100, End: 7900,
+			Attrs: []SpanAttr{A("takeover", "true")}},
+	}
+}
+
+func TestWriteFleetTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFleetTrace(&buf, fleetSpans()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "fleet_trace.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("fleet trace differs from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteFleetTraceShuffleStable(t *testing.T) {
+	var want bytes.Buffer
+	if err := WriteFleetTrace(&want, fleetSpans()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		spans := fleetSpans()
+		rng.Shuffle(len(spans), func(i, j int) { spans[i], spans[j] = spans[j], spans[i] })
+		var got bytes.Buffer
+		if err := WriteFleetTrace(&got, spans); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("trial %d: merge order changed the output", trial)
+		}
+	}
+}
+
+func TestWriteFleetTraceLayout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFleetTrace(&buf, fleetSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output not valid JSON: %v", err)
+	}
+
+	procs := map[int]string{}
+	threads := map[[2]int]string{}
+	var minTs int64 = 1 << 62
+	partials, instants := 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			name, _ := ev.Args["name"].(string)
+			switch ev.Name {
+			case "process_name":
+				procs[ev.Pid] = name
+			case "thread_name":
+				threads[[2]int{ev.Pid, ev.Tid}] = name
+			}
+			continue
+		case "i":
+			instants++
+		}
+		if ev.Ts < minTs {
+			minTs = ev.Ts
+		}
+		if ev.Ph == "X" && ev.Dur < 1 {
+			t.Fatalf("complete event %q has dur %d < 1", ev.Name, ev.Dur)
+		}
+		if ev.Args["partial"] == true {
+			partials++
+		}
+	}
+	// Sorted worker order: w-a gets pid 1, w-b pid 2.
+	if procs[1] != "w-a" || procs[2] != "w-b" {
+		t.Fatalf("pids not assigned in sorted worker order: %v", procs)
+	}
+	// Worker-level track is tid 1; shard k is tid k+2.
+	if threads[[2]int{1, 1}] != "worker" || threads[[2]int{2, 2}] != "shard 0" || threads[[2]int{2, 3}] != "shard 1" {
+		t.Fatalf("thread naming wrong: %v", threads)
+	}
+	if minTs != 0 {
+		t.Fatalf("timestamps not rebased: min ts %d", minTs)
+	}
+	if partials != 1 {
+		t.Fatalf("found %d partial spans, want 1", partials)
+	}
+	if instants != 1 {
+		t.Fatalf("found %d instants, want 1 (the claim)", instants)
+	}
+}
